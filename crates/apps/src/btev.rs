@@ -1,0 +1,109 @@
+//! BTeV on Grid3: CP-violation Monte Carlo (§4.5).
+//!
+//! "The workflow processing time was about 15 seconds per event on a 2 GHz
+//! machine, translating into a typical request for 2.5 million events
+//! generated with 1000 10-hour jobs across Grid3." The request builder
+//! reproduces exactly that arithmetic.
+
+use grid3_simkit::ids::UserId;
+use grid3_simkit::time::SimDuration;
+use grid3_simkit::units::Bytes;
+use grid3_site::job::JobSpec;
+use grid3_site::vo::UserClass;
+
+/// Reference processing time per event (§4.5).
+pub const SECS_PER_EVENT: f64 = 15.0;
+
+/// A BTeV challenge request: simulate `events` events in jobs of
+/// `events_per_job`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChallengeRequest {
+    /// Total events to simulate.
+    pub events: u64,
+    /// Events per job.
+    pub events_per_job: u64,
+    /// The submitting physicist (Table 1: BTeV had exactly one user).
+    pub user: UserId,
+}
+
+impl ChallengeRequest {
+    /// The canonical §4.5 request: 2.5 M events in 1000 jobs of 2500
+    /// events (2500 × 15 s ≈ 10.4 h each).
+    pub fn canonical(user: UserId) -> Self {
+        ChallengeRequest {
+            events: 2_500_000,
+            events_per_job: 2_500,
+            user,
+        }
+    }
+
+    /// Number of jobs the request expands to.
+    pub fn job_count(&self) -> u64 {
+        assert!(self.events_per_job > 0);
+        self.events.div_ceil(self.events_per_job)
+    }
+
+    /// Expand into job specifications.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let n = self.job_count();
+        (0..n)
+            .map(|i| {
+                let events = if i == n - 1 {
+                    self.events - self.events_per_job * (n - 1)
+                } else {
+                    self.events_per_job
+                };
+                let runtime = SimDuration::from_secs_f64(events as f64 * SECS_PER_EVENT);
+                JobSpec {
+                    class: UserClass::Btev,
+                    user: self.user,
+                    reference_runtime: runtime,
+                    requested_walltime: runtime * 1.5,
+                    input_bytes: Bytes::from_mb(50),
+                    output_bytes: Bytes::from_mb(400),
+                    scratch_bytes: Bytes::from_mb(800),
+                    needs_outbound: false,
+                    staged_files: 2,
+                    registers_output: true,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_request_is_1000_ten_hour_jobs() {
+        let req = ChallengeRequest::canonical(UserId(0));
+        assert_eq!(req.job_count(), 1_000);
+        let jobs = req.jobs();
+        assert_eq!(jobs.len(), 1_000);
+        // 2500 events × 15 s = 37 500 s ≈ 10.4 h.
+        let hours = jobs[0].reference_runtime.as_hours_f64();
+        assert!((hours - 10.42).abs() < 0.05, "got {hours}");
+        assert!(jobs.iter().all(|j| j.class == UserClass::Btev));
+    }
+
+    #[test]
+    fn tail_job_covers_remaining_events() {
+        let req = ChallengeRequest {
+            events: 10_100,
+            events_per_job: 2_500,
+            user: UserId(0),
+        };
+        let jobs = req.jobs();
+        assert_eq!(jobs.len(), 5);
+        let tail_hours = jobs[4].reference_runtime.as_hours_f64();
+        assert!((tail_hours - 100.0 * 15.0 / 3_600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn walltime_requests_include_margin() {
+        let req = ChallengeRequest::canonical(UserId(0));
+        let j = &req.jobs()[0];
+        assert!(j.requested_walltime > j.reference_runtime);
+    }
+}

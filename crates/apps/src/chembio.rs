@@ -1,0 +1,168 @@
+//! The iVDGL chemistry and biology applications (§4.6).
+//!
+//! **SnB** (Shake-and-Bake): dual-space direct-methods crystal-structure
+//! determination. A structure determination runs many independent trial
+//! jobs; a structure "solves" when enough trials converge. **GADU**: the
+//! Argonne Genome Analysis and Database Update pipeline, running BLAST-
+//! style analyses against external genome databases — which is why these
+//! jobs need outbound connectivity (§6.4 criterion 1).
+
+use grid3_simkit::ids::UserId;
+use grid3_simkit::rng::SimRng;
+use grid3_simkit::time::SimDuration;
+use grid3_simkit::units::Bytes;
+use grid3_site::job::JobSpec;
+use grid3_site::vo::UserClass;
+
+/// An SnB structure-determination campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnbCampaign {
+    /// Number of independent trial jobs.
+    pub trials: u32,
+    /// Atoms in the structure (scales runtime; §4.6 mentions structures
+    /// up to 1000 unique non-hydrogen atoms).
+    pub atoms: u32,
+    /// Submitting crystallographer.
+    pub user: UserId,
+}
+
+impl SnbCampaign {
+    /// Expand into trial job specs. Runtime scales with atom count:
+    /// ~30 min for small structures up to several hours at 1000 atoms.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let runtime = SimDuration::from_secs_f64(1_800.0 + self.atoms as f64 * 14.0);
+        (0..self.trials)
+            .map(|_| JobSpec {
+                class: UserClass::Ivdgl,
+                user: self.user,
+                reference_runtime: runtime,
+                requested_walltime: runtime * 2.0,
+                input_bytes: Bytes::from_mb(20), // diffraction data
+                output_bytes: Bytes::from_mb(5),
+                scratch_bytes: Bytes::from_mb(100),
+                needs_outbound: false,
+                staged_files: 1,
+                registers_output: false,
+            })
+            .collect()
+    }
+
+    /// Whether the campaign solves the structure: each trial converges
+    /// independently with probability `p_converge`; solving needs at
+    /// least `needed` convergent trials. (The Shake-and-Bake method's
+    /// statistical character, simulated.)
+    pub fn solves(&self, p_converge: f64, needed: u32, rng: &mut SimRng) -> bool {
+        let mut hits = 0;
+        for _ in 0..self.trials {
+            if rng.chance(p_converge) {
+                hits += 1;
+                if hits >= needed {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// A GADU genome-analysis batch: one job per sequence chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaduBatch {
+    /// Sequence chunks to analyse.
+    pub chunks: u32,
+    /// Submitting bioinformatician.
+    pub user: UserId,
+}
+
+impl GaduBatch {
+    /// Expand into per-chunk job specs. GADU jobs query external genome
+    /// databases, so they carry the outbound-connectivity requirement.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        (0..self.chunks)
+            .map(|_| JobSpec {
+                class: UserClass::Ivdgl,
+                user: self.user,
+                reference_runtime: SimDuration::from_mins(50),
+                requested_walltime: SimDuration::from_hours(3),
+                input_bytes: Bytes::from_mb(100),
+                output_bytes: Bytes::from_mb(30),
+                scratch_bytes: Bytes::from_mb(200),
+                needs_outbound: true,
+                staged_files: 1,
+                registers_output: false,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snb_runtime_scales_with_structure_size() {
+        let small = SnbCampaign {
+            trials: 1,
+            atoms: 50,
+            user: UserId(0),
+        };
+        let big = SnbCampaign {
+            trials: 1,
+            atoms: 1_000,
+            user: UserId(0),
+        };
+        let rs = small.jobs()[0].reference_runtime;
+        let rb = big.jobs()[0].reference_runtime;
+        assert!(rb > rs);
+        // 1000-atom structures run several hours (§4.6's hard cases).
+        assert!(rb > SimDuration::from_hours(4));
+    }
+
+    #[test]
+    fn snb_solving_is_monotone_in_trials() {
+        let mut rng_small = SimRng::for_entity(1, 1);
+        let mut rng_large = SimRng::for_entity(1, 1);
+        let few = SnbCampaign {
+            trials: 5,
+            atoms: 100,
+            user: UserId(0),
+        };
+        let many = SnbCampaign {
+            trials: 500,
+            atoms: 100,
+            user: UserId(0),
+        };
+        let solved_few = (0..200)
+            .filter(|_| few.solves(0.02, 3, &mut rng_small))
+            .count();
+        let solved_many = (0..200)
+            .filter(|_| many.solves(0.02, 3, &mut rng_large))
+            .count();
+        assert!(solved_many > solved_few);
+    }
+
+    #[test]
+    fn gadu_needs_outbound_connectivity() {
+        let batch = GaduBatch {
+            chunks: 10,
+            user: UserId(2),
+        };
+        let jobs = batch.jobs();
+        assert_eq!(jobs.len(), 10);
+        assert!(jobs.iter().all(|j| j.needs_outbound));
+        assert!(jobs.iter().all(|j| j.class == UserClass::Ivdgl));
+    }
+
+    #[test]
+    fn snb_trials_are_embarrassingly_parallel() {
+        let c = SnbCampaign {
+            trials: 100,
+            atoms: 200,
+            user: UserId(0),
+        };
+        let jobs = c.jobs();
+        assert_eq!(jobs.len(), 100);
+        // All trials identical: same runtime, no dependencies.
+        assert!(jobs.windows(2).all(|w| w[0] == w[1]));
+    }
+}

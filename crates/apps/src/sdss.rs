@@ -1,0 +1,157 @@
+//! SDSS on Grid3: galaxy-cluster finding and pixel analysis (§4.3).
+//!
+//! "A search for galaxy clusters in SDSS data resulted in workflows with
+//! several thousand processing steps organized by Chimera virtual data
+//! tools." The cluster-finding shape: per-field photometric processing
+//! fans out wide, field results feed per-stripe likelihood computations,
+//! and a final catalog-merge step joins everything.
+
+use grid3_simkit::ids::{FileId, FileIdGen};
+use grid3_simkit::time::SimDuration;
+use grid3_workflow::chimera::{Derivation, Transformation, VirtualDataCatalog};
+
+/// The catalog and the final output of one cluster-finding campaign.
+#[derive(Debug, Clone)]
+pub struct ClusterSearch {
+    /// The virtual data catalog describing the whole workflow.
+    pub vdc: VirtualDataCatalog,
+    /// Raw per-field inputs (assumed already on the grid — register these
+    /// in RLS before planning).
+    pub field_inputs: Vec<FileId>,
+    /// The final merged cluster catalog.
+    pub catalog_output: FileId,
+}
+
+/// Build a cluster search over `fields` fields grouped into `stripes`
+/// stripes. Workflow size = fields (field steps) + stripes (likelihood
+/// steps) + 1 (merge).
+pub fn cluster_search(fields: u32, stripes: u32, lfns: &mut FileIdGen) -> ClusterSearch {
+    assert!(
+        stripes > 0 && fields >= stripes,
+        "need fields ≥ stripes ≥ 1"
+    );
+    let mut vdc = VirtualDataCatalog::new();
+    vdc.add_transformation(Transformation {
+        name: "field-photo".into(),
+        version: "1".into(),
+        reference_runtime: SimDuration::from_mins(45),
+        output_bytes: 50_000_000,
+    });
+    vdc.add_transformation(Transformation {
+        name: "stripe-likelihood".into(),
+        version: "1".into(),
+        reference_runtime: SimDuration::from_hours(2),
+        output_bytes: 100_000_000,
+    });
+    vdc.add_transformation(Transformation {
+        name: "catalog-merge".into(),
+        version: "1".into(),
+        reference_runtime: SimDuration::from_hours(1),
+        output_bytes: 500_000_000,
+    });
+
+    let field_inputs: Vec<FileId> = (0..fields).map(|_| lfns.next_id()).collect();
+    let mut stripe_outputs = Vec::with_capacity(stripes as usize);
+    let per_stripe = fields.div_ceil(stripes) as usize;
+    let mut field_outputs_all = Vec::with_capacity(fields as usize);
+    for chunk in field_inputs.chunks(per_stripe) {
+        let mut field_outputs = Vec::with_capacity(chunk.len());
+        for input in chunk {
+            let out = lfns.next_id();
+            vdc.add_derivation(Derivation {
+                output: out,
+                inputs: vec![*input],
+                transformation: "field-photo".into(),
+            })
+            .expect("fresh LFN");
+            field_outputs.push(out);
+        }
+        let stripe_out = lfns.next_id();
+        vdc.add_derivation(Derivation {
+            output: stripe_out,
+            inputs: field_outputs.clone(),
+            transformation: "stripe-likelihood".into(),
+        })
+        .expect("fresh LFN");
+        stripe_outputs.push(stripe_out);
+        field_outputs_all.extend(field_outputs);
+    }
+    let catalog_output = lfns.next_id();
+    vdc.add_derivation(Derivation {
+        output: catalog_output,
+        inputs: stripe_outputs,
+        transformation: "catalog-merge".into(),
+    })
+    .expect("fresh LFN");
+
+    ClusterSearch {
+        vdc,
+        field_inputs,
+        catalog_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid3_middleware::rls::ReplicaLocationService;
+    use grid3_simkit::ids::SiteId;
+    use grid3_simkit::units::Bytes;
+
+    fn with_inputs_registered(search: &ClusterSearch) -> ReplicaLocationService {
+        let mut rls = ReplicaLocationService::new();
+        for f in &search.field_inputs {
+            rls.register(*f, SiteId(0), Bytes::from_mb(200));
+        }
+        rls
+    }
+
+    #[test]
+    fn thousand_step_workflows_build() {
+        // §4.3 scale: several thousand processing steps.
+        let mut lfns = FileIdGen::new();
+        let search = cluster_search(2_000, 40, &mut lfns);
+        let rls = with_inputs_registered(&search);
+        let dag = search
+            .vdc
+            .plan_request(search.catalog_output, &rls)
+            .unwrap();
+        assert_eq!(dag.len(), 2_000 + 40 + 1);
+        // Fan-in shape: field → stripe → merge = depth 3.
+        assert_eq!(dag.critical_path_len(), 3);
+        assert_eq!(dag.leaves().len(), 1);
+    }
+
+    #[test]
+    fn stripes_partition_fields() {
+        let mut lfns = FileIdGen::new();
+        let search = cluster_search(10, 3, &mut lfns);
+        let rls = with_inputs_registered(&search);
+        let dag = search
+            .vdc
+            .plan_request(search.catalog_output, &rls)
+            .unwrap();
+        assert_eq!(dag.len(), 14);
+        // The merge consumes exactly 3 stripe outputs.
+        let merge = dag.leaves()[0];
+        assert_eq!(dag.parents(merge).len(), 3);
+    }
+
+    #[test]
+    fn missing_field_inputs_block_planning() {
+        let mut lfns = FileIdGen::new();
+        let search = cluster_search(4, 2, &mut lfns);
+        let rls = ReplicaLocationService::new(); // inputs not registered
+        assert!(search
+            .vdc
+            .plan_request(search.catalog_output, &rls)
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "fields ≥ stripes")]
+    fn invalid_geometry_rejected() {
+        let mut lfns = FileIdGen::new();
+        cluster_search(2, 5, &mut lfns);
+    }
+}

@@ -1,0 +1,55 @@
+//! Ablation benches for the §8 lessons DESIGN.md calls out: SRM storage
+//! reservations and the automated install pipeline, each compared against
+//! the Grid3-as-operated baseline at identical seed and scale.
+//!
+//! Criterion measures the runtime of each variant; the *quality* deltas
+//! (efficiency, failure counts) are printed once per bench so they land
+//! in the bench log alongside the timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grid3_core::scenario::ScenarioConfig;
+use grid3_pacman::install::InstallPipeline;
+use std::hint::black_box;
+use std::sync::Once;
+
+fn base() -> ScenarioConfig {
+    ScenarioConfig::sc2003()
+        .with_scale(0.02)
+        .with_seed(2003)
+        .with_demo(false)
+}
+
+static PRINT_DELTAS: Once = Once::new();
+
+fn print_quality_deltas() {
+    PRINT_DELTAS.call_once(|| {
+        let grid3 = base().run();
+        let srm = base().with_srm(true).run();
+        let auto = base().with_pipeline(InstallPipeline::automated()).run();
+        eprintln!(
+            "[ablation] efficiency: grid3 {:.3}, +srm {:.3}, +automated-install {:.3}",
+            grid3.metrics.overall_efficiency,
+            srm.metrics.overall_efficiency,
+            auto.metrics.overall_efficiency
+        );
+    });
+}
+
+fn bench_grid3_baseline(c: &mut Criterion) {
+    print_quality_deltas();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("grid3_as_operated", |b| {
+        b.iter(|| black_box(base().run()));
+    });
+    group.bench_function("srm_reservations", |b| {
+        b.iter(|| black_box(base().with_srm(true).run()));
+    });
+    group.bench_function("automated_install", |b| {
+        b.iter(|| black_box(base().with_pipeline(InstallPipeline::automated()).run()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid3_baseline);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! The §6.4 gatekeeper load experiment (`gkload` in DESIGN.md): the
+//! sustained-load law across the managed-job × staging-factor plane, the
+//! live gatekeeper's bookkeeping cost, and the submission-burst spike.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grid3_middleware::gram::{sustained_load, Gatekeeper};
+use grid3_simkit::ids::{JobId, SiteId};
+use grid3_simkit::time::{SimDuration, SimTime};
+use rayon::prelude::*;
+use std::hint::black_box;
+
+/// The load-law sweep itself (pure arithmetic, parallelized with Rayon as
+/// the parameter grid would be in a real calibration study).
+fn bench_load_law_sweep(c: &mut Criterion) {
+    let grid: Vec<(usize, f64)> = (1..=40)
+        .flat_map(|j| [1.0, 2.0, 3.0, 4.0].map(|f| (j * 50, f)))
+        .collect();
+    let mut group = c.benchmark_group("gkload_law_sweep");
+    group.throughput(Throughput::Elements(grid.len() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            grid.iter()
+                .map(|(j, f)| sustained_load(*j, *f))
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| {
+            grid.par_iter()
+                .map(|(j, f)| sustained_load(*j, *f))
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
+/// Live gatekeeper managing N jobs: submission + load query cost.
+fn bench_gatekeeper_bookkeeping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gkload_live_gatekeeper");
+    for n in [100u32, 1_000, 5_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut gk = Gatekeeper::with_threshold(SiteId(0), f64::INFINITY);
+                let mut t = SimTime::EPOCH;
+                for i in 0..n {
+                    t += SimDuration::from_secs(1);
+                    gk.submit(JobId(i), 1.0 + (i % 4) as f64, t).unwrap();
+                }
+                black_box(gk.load_one_min(t))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The §6.4 spike claim, measured: short-high-frequency submissions load
+/// the gatekeeper far more than the same concurrency of long jobs.
+fn bench_submission_spike(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gkload_burst_vs_steady");
+    group.bench_function("burst_500_in_one_minute", |b| {
+        b.iter(|| {
+            let mut gk = Gatekeeper::with_threshold(SiteId(0), f64::INFINITY);
+            let t = SimTime::from_secs(100);
+            for i in 0..500u32 {
+                gk.submit(JobId(i), 1.0, t).unwrap();
+            }
+            black_box(gk.load_one_min(t + SimDuration::from_secs(30)))
+        });
+    });
+    group.bench_function("steady_500_over_an_hour", |b| {
+        b.iter(|| {
+            let mut gk = Gatekeeper::with_threshold(SiteId(0), f64::INFINITY);
+            let mut t = SimTime::EPOCH;
+            for i in 0..500u32 {
+                t += SimDuration::from_secs(7);
+                gk.submit(JobId(i), 1.0, t).unwrap();
+            }
+            black_box(gk.load_one_min(t))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_load_law_sweep,
+    bench_gatekeeper_bookkeeping,
+    bench_submission_spike
+);
+criterion_main!(benches);

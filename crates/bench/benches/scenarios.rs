@@ -1,0 +1,64 @@
+//! Criterion benches for the paper's scenario windows: one bench per
+//! table/figure-generating run, at reduced scale so Criterion can sample
+//! repeatedly. The full-scale regeneration lives in the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grid3_core::scenario::ScenarioConfig;
+use std::hint::black_box;
+
+/// Figures 2/3/5: the SC2003 window.
+fn bench_sc2003_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_fig3_fig5_sc2003");
+    group.sample_size(10);
+    for scale in [0.01, 0.05] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("scale_{scale}")),
+            &scale,
+            |b, &scale| {
+                b.iter(|| {
+                    let cfg = ScenarioConfig::sc2003().with_scale(scale).with_seed(2003);
+                    black_box(cfg.run())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 4: the CMS production window.
+fn bench_cms_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_cms_production");
+    group.sample_size(10);
+    group.bench_function("scale_0.02", |b| {
+        b.iter(|| {
+            let cfg = ScenarioConfig::cms_production()
+                .with_scale(0.02)
+                .with_seed(2003);
+            black_box(cfg.run())
+        });
+    });
+    group.finish();
+}
+
+/// Table 1, Figure 6 and the §7 metrics: the seven-month window.
+fn bench_seven_months(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_fig6_metrics_seven_months");
+    group.sample_size(10);
+    group.bench_function("scale_0.02", |b| {
+        b.iter(|| {
+            let cfg = ScenarioConfig::seven_months()
+                .with_scale(0.02)
+                .with_seed(2003);
+            black_box(cfg.run())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sc2003_window,
+    bench_cms_window,
+    bench_seven_months
+);
+criterion_main!(benches);

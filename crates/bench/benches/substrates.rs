@@ -1,0 +1,144 @@
+//! Substrate micro-benches: the hot paths under the whole-grid simulation
+//! (event queue, batch schedulers, DAG machinery, replica catalog,
+//! round-robin database).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use grid3_middleware::rls::ReplicaLocationService;
+use grid3_monitoring::monalisa::RoundRobinDb;
+use grid3_simkit::engine::EventQueue;
+use grid3_simkit::ids::{FileId, JobId, SiteId};
+use grid3_simkit::time::{SimDuration, SimTime};
+use grid3_simkit::units::Bytes;
+use grid3_site::scheduler::{BatchScheduler, DispatchCtx, QueuedJob, SchedulerKind};
+use grid3_site::vo::Vo;
+use grid3_workflow::dag::Dag;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [10_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    // Pseudo-random times via multiplicative hashing.
+                    let t = (i.wrapping_mul(2_654_435_761)) % 1_000_000;
+                    q.schedule_at(SimTime::from_secs(t), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_scheduler");
+    let n = 10_000u32;
+    group.throughput(Throughput::Elements(n as u64));
+    for kind in [
+        SchedulerKind::OpenPbs,
+        SchedulerKind::CondorFairShare,
+        SchedulerKind::Lsf,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut s = BatchScheduler::new(kind);
+                    for i in 0..n {
+                        s.enqueue(QueuedJob {
+                            job: JobId(i),
+                            vo: Vo::ALL[(i % 6) as usize],
+                            requested_walltime: SimDuration::from_hours(((i % 40) + 1) as u64),
+                            enqueued: SimTime::EPOCH,
+                        });
+                    }
+                    let ctx = DispatchCtx {
+                        running_long: 0,
+                        total_slots: usize::MAX / 2,
+                    };
+                    let mut out = 0u32;
+                    while let Some(j) = s.dequeue(ctx) {
+                        out = out.wrapping_add(j.job.0);
+                    }
+                    black_box(out)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag");
+    // The SDSS shape: wide fan-out into stripes into one merge.
+    group.bench_function("build_and_order_5k_nodes", |b| {
+        b.iter(|| {
+            let mut d = Dag::new();
+            let fields: Vec<_> = (0..4_000).map(|i| d.add_node(i)).collect();
+            let stripes: Vec<_> = (0..80).map(|i| d.add_node(10_000 + i)).collect();
+            let merge = d.add_node(99_999);
+            for (i, f) in fields.iter().enumerate() {
+                d.add_edge(*f, stripes[i % 80]).unwrap();
+            }
+            for s in &stripes {
+                d.add_edge(*s, merge).unwrap();
+            }
+            black_box(d.topological_order().len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_rls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rls");
+    let n = 50_000u32;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("register_locate_50k", |b| {
+        b.iter(|| {
+            let mut rls = ReplicaLocationService::new();
+            for i in 0..n {
+                rls.register(FileId(i), SiteId(i % 27), Bytes::from_gb(2));
+            }
+            let mut found = 0usize;
+            for i in (0..n).step_by(7) {
+                found += rls.locate(FileId(i)).map(|v| v.len()).unwrap_or(0);
+            }
+            black_box(found)
+        });
+    });
+    group.finish();
+}
+
+fn bench_rrd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monalisa_rrd");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("record_100k_samples", |b| {
+        b.iter(|| {
+            let mut db = RoundRobinDb::new(SimDuration::from_mins(5), 4_096);
+            for i in 0..n {
+                db.record(SimTime::from_secs(i * 13), (i % 100) as f64);
+            }
+            black_box(db.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_schedulers,
+    bench_dag,
+    bench_rls,
+    bench_rrd
+);
+criterion_main!(benches);

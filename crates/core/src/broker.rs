@@ -1,0 +1,315 @@
+//! Site selection — the §6.4 behaviour.
+//!
+//! "Several basic application requirements drove how users selected
+//! sites: (1) internet connectivity of compute nodes, (2) availability of
+//! required disk space, (3) maximum allowable runtime, (4) gatekeeper
+//! network bandwidth capacity." On top of the hard requirements the paper
+//! observes soft preferences: "applications tend to favor the resources
+//! provided within their VO" and "application demonstrators tended to
+//! have 'favorite' Grid3 resources and submitted more computational jobs
+//! to them."
+//!
+//! The broker filters candidates by the four hard criteria against fresh
+//! MDS records, then applies VO affinity with the configured probability,
+//! and finally ranks by available capacity (free CPUs minus queue depth,
+//! bandwidth as tie-break) with a little randomized spread across the top
+//! candidates — reproducing both the "favorite site" concentration and
+//! the residual spread visible in Table 1's max-single-resource
+//! percentages.
+
+use grid3_middleware::mds::GlueRecord;
+use grid3_simkit::ids::SiteId;
+use grid3_simkit::rng::SimRng;
+use grid3_site::job::JobSpec;
+use serde::{Deserialize, Serialize};
+
+/// Broker configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Broker {
+    /// Among how many top-ranked candidates to spread submissions.
+    pub spread: usize,
+    /// Probability a submission goes to the user's *favorite* eligible
+    /// site (§6.4: demonstrators "tended to have 'favorite' Grid3
+    /// resources and submitted more computational jobs to them"). The
+    /// favorite is a deterministic function of the user identity.
+    pub favorite_bias: f64,
+}
+
+impl Default for Broker {
+    fn default() -> Self {
+        Broker {
+            spread: 3,
+            favorite_bias: 0.8,
+        }
+    }
+}
+
+impl Broker {
+    /// Pick a site for `spec` from fresh MDS `records`.
+    ///
+    /// `vo_affinity` is the probability of restricting to sites owned by
+    /// the job's VO (when any such site is eligible). Returns `None` when
+    /// no site passes the hard criteria.
+    pub fn select(
+        &self,
+        spec: &JobSpec,
+        vo_affinity: f64,
+        records: &[&GlueRecord],
+        rng: &mut SimRng,
+    ) -> Option<SiteId> {
+        let vo = spec.class.vo();
+        let mut eligible: Vec<&&GlueRecord> = records
+            .iter()
+            .filter(|r| r.admits_vo(vo))
+            .filter(|r| !spec.needs_outbound || r.outbound_connectivity) // criterion 1
+            .filter(|r| spec.input_bytes + spec.output_bytes + spec.scratch_bytes <= r.se_free) // criterion 2
+            .filter(|r| spec.requested_walltime <= r.max_walltime) // criterion 3
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+
+        // Soft preference: own-VO sites.
+        if rng.chance(vo_affinity) {
+            let own: Vec<&&GlueRecord> = eligible
+                .iter()
+                .copied()
+                .filter(|r| r.owner_vo == Some(vo))
+                .collect();
+            if !own.is_empty() {
+                eligible = own;
+            }
+        }
+
+        // Favorite-site behaviour: each user routes most submissions to a
+        // small stable palette of two favorite sites (sorted by site id so
+        // favorites do not drift with load). This reproduces the §6.4
+        // concentration — classes touch roughly (users × palette) sites
+        // rather than the whole grid.
+        if rng.chance(self.favorite_bias) {
+            let mut by_id: Vec<SiteId> = eligible.iter().map(|r| r.site).collect();
+            by_id.sort();
+            let salt = rng.below(2);
+            let idx = (spec.user.0 as usize)
+                .wrapping_mul(2_654_435_761)
+                .wrapping_add(salt * 97)
+                % by_id.len();
+            return Some(by_id[idx]);
+        }
+
+        // Rank: available headroom first, then bandwidth (criterion 4),
+        // then site id for determinism.
+        eligible.sort_by(|a, b| {
+            let ha = a.free_cpus as i64 - a.queued_jobs as i64;
+            let hb = b.free_cpus as i64 - b.queued_jobs as i64;
+            hb.cmp(&ha)
+                .then_with(|| {
+                    b.wan_bandwidth
+                        .as_bytes_per_sec()
+                        .partial_cmp(&a.wan_bandwidth.as_bytes_per_sec())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then_with(|| a.site.cmp(&b.site))
+        });
+        let k = self.spread.max(1).min(eligible.len());
+        Some(eligible[rng.below(k)].site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid3_simkit::ids::UserId;
+    use grid3_simkit::time::{SimDuration, SimTime};
+    use grid3_simkit::units::{Bandwidth, Bytes};
+    use grid3_site::vo::{UserClass, Vo};
+
+    fn record(site: u32, free: u32, owner: Option<Vo>) -> GlueRecord {
+        GlueRecord {
+            site: SiteId(site),
+            site_name: format!("S{site}"),
+            total_cpus: 100,
+            free_cpus: free,
+            queued_jobs: 0,
+            max_walltime: SimDuration::from_hours(48),
+            se_free: Bytes::from_tb(5),
+            se_total: Bytes::from_tb(5),
+            wan_bandwidth: Bandwidth::from_mbit_per_sec(100.0),
+            outbound_connectivity: true,
+            allowed_vos: None,
+            owner_vo: owner,
+            app_install_area: "/app".into(),
+            tmp_dir: "/tmp".into(),
+            data_dir: "/data".into(),
+            vdt_location: "/vdt".into(),
+            vdt_version: "1".into(),
+            timestamp: SimTime::EPOCH,
+        }
+    }
+
+    fn spec(class: UserClass) -> JobSpec {
+        JobSpec {
+            class,
+            user: UserId(0),
+            reference_runtime: SimDuration::from_hours(4),
+            requested_walltime: SimDuration::from_hours(8),
+            input_bytes: Bytes::from_gb(1),
+            output_bytes: Bytes::from_gb(1),
+            scratch_bytes: Bytes::from_gb(1),
+            needs_outbound: false,
+            staged_files: 1,
+            registers_output: true,
+        }
+    }
+
+    #[test]
+    fn hard_criteria_filter() {
+        let broker = Broker::default();
+        let mut rng = SimRng::for_entity(1, 1);
+        // Outbound requirement knocks out the only site.
+        let mut r = record(0, 50, None);
+        r.outbound_connectivity = false;
+        let mut s = spec(UserClass::Sdss);
+        s.needs_outbound = true;
+        assert_eq!(broker.select(&s, 0.0, &[&r], &mut rng), None);
+        // Disk.
+        let mut r = record(0, 50, None);
+        r.se_free = Bytes::from_mb(10);
+        assert_eq!(
+            broker.select(&spec(UserClass::Sdss), 0.0, &[&r], &mut rng),
+            None
+        );
+        // Walltime.
+        let mut r = record(0, 50, None);
+        r.max_walltime = SimDuration::from_hours(1);
+        assert_eq!(
+            broker.select(&spec(UserClass::Sdss), 0.0, &[&r], &mut rng),
+            None
+        );
+        // VO admission.
+        let mut r = record(0, 50, None);
+        r.allowed_vos = Some(vec![Vo::Ligo]);
+        assert_eq!(
+            broker.select(&spec(UserClass::Sdss), 0.0, &[&r], &mut rng),
+            None
+        );
+        // Clean record passes.
+        let r = record(0, 50, None);
+        assert_eq!(
+            broker.select(&spec(UserClass::Sdss), 0.0, &[&r], &mut rng),
+            Some(SiteId(0))
+        );
+    }
+
+    fn no_favorites() -> Broker {
+        Broker {
+            favorite_bias: 0.0,
+            ..Broker::default()
+        }
+    }
+
+    #[test]
+    fn full_affinity_always_picks_own_vo_site() {
+        let broker = no_favorites();
+        let mut rng = SimRng::for_entity(2, 2);
+        let records = [
+            record(0, 90, None),
+            record(1, 90, Some(Vo::Uscms)),
+            record(2, 10, Some(Vo::Usatlas)), // less headroom, but owned
+        ];
+        let refs: Vec<&GlueRecord> = records.iter().collect();
+        for _ in 0..50 {
+            let pick = broker
+                .select(&spec(UserClass::Usatlas), 1.0, &refs, &mut rng)
+                .unwrap();
+            assert_eq!(pick, SiteId(2));
+        }
+    }
+
+    #[test]
+    fn zero_affinity_spreads_over_top_candidates() {
+        let broker = no_favorites();
+        let mut rng = SimRng::for_entity(3, 3);
+        let records = [
+            record(0, 90, None),
+            record(1, 80, None),
+            record(2, 70, None),
+            record(3, 5, None),
+        ];
+        let refs: Vec<&GlueRecord> = records.iter().collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(
+                broker
+                    .select(&spec(UserClass::Ivdgl), 0.0, &refs, &mut rng)
+                    .unwrap(),
+            );
+        }
+        // Spread=3 → the top three sites all get traffic, the laggard none.
+        assert_eq!(
+            seen.into_iter().collect::<Vec<_>>(),
+            vec![SiteId(0), SiteId(1), SiteId(2)]
+        );
+    }
+
+    #[test]
+    fn affinity_falls_back_when_no_own_site_eligible() {
+        let broker = no_favorites();
+        let mut rng = SimRng::for_entity(4, 4);
+        let records = [record(0, 50, Some(Vo::Uscms))];
+        let refs: Vec<&GlueRecord> = records.iter().collect();
+        let pick = broker.select(&spec(UserClass::Ligo), 1.0, &refs, &mut rng);
+        assert_eq!(pick, Some(SiteId(0)));
+    }
+
+    #[test]
+    fn favorite_bias_concentrates_per_user() {
+        // With full favorite bias, each user always lands on one stable
+        // site, and different users can have different favorites.
+        let broker = Broker {
+            spread: 3,
+            favorite_bias: 1.0,
+        };
+        let mut rng = SimRng::for_entity(9, 9);
+        let records = [
+            record(0, 90, None),
+            record(1, 80, None),
+            record(2, 70, None),
+        ];
+        let refs: Vec<&GlueRecord> = records.iter().collect();
+        let mut spec_a = spec(UserClass::Ivdgl);
+        spec_a.user = UserId(4);
+        let mut palette = std::collections::BTreeSet::new();
+        for _ in 0..40 {
+            palette.insert(broker.select(&spec_a, 0.0, &refs, &mut rng).unwrap());
+        }
+        assert!(
+            palette.len() <= 2,
+            "one user's traffic stays on a ≤2-site palette, got {palette:?}"
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for u in 0..12u32 {
+            let mut s = spec(UserClass::Ivdgl);
+            s.user = UserId(u);
+            seen.insert(broker.select(&s, 0.0, &refs, &mut rng).unwrap());
+        }
+        assert!(seen.len() > 1, "different users spread across favorites");
+    }
+
+    #[test]
+    fn queue_depth_reduces_ranking() {
+        let broker = Broker {
+            spread: 1,
+            favorite_bias: 0.0,
+        };
+        let mut rng = SimRng::for_entity(5, 5);
+        let mut busy = record(0, 50, None);
+        busy.queued_jobs = 45; // headroom 5
+        let calm = record(1, 30, None); // headroom 30
+        let refs: Vec<&GlueRecord> = vec![&busy, &calm];
+        assert_eq!(
+            broker.select(&spec(UserClass::Btev), 0.0, &refs, &mut rng),
+            Some(SiteId(1))
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # grid3-core
+//!
+//! The top of the Grid2003 reproduction: wires the substrates — sites,
+//! middleware, packaging, monitoring, workflows, applications, operations
+//! — into a whole-grid discrete-event simulation, runs the paper's
+//! scenarios, and extracts the reports its evaluation section presents.
+//!
+//! * [`topology`] — the 27-site Grid3 resource inventory (≈2163 steady
+//!   CPUs, surging past 2800 during SC2003) with per-site schedulers,
+//!   bandwidths, storage, policies and failure behaviour.
+//! * [`broker`] — §6.4 site selection: requirement filtering (outbound
+//!   connectivity, disk, max runtime, bandwidth) plus the observed VO
+//!   affinity ("applications tend to favor the resources provided within
+//!   their VO").
+//! * [`engine`] — the event-driven grid simulation: submission →
+//!   gatekeeper → stage-in → batch queue → execution → stage-out → RLS
+//!   registration, with the calibrated failure injection of §6.
+//! * [`scenario`] — canned experiment configurations: the 30-day SC2003
+//!   window (Figures 2, 3, 5), the 150-day CMS window (Figure 4), the
+//!   full seven months (Table 1, Figure 6, §7 metrics).
+//! * [`report`] — report extraction and ASCII rendering: Table 1, every
+//!   figure's series, and the §7 milestones/metrics block.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use grid3_core::scenario::ScenarioConfig;
+//!
+//! // A small, fast configuration (1 % workload scale, 30 days).
+//! let cfg = ScenarioConfig::sc2003().with_scale(0.01).with_seed(7);
+//! let report = cfg.run();
+//! assert!(report.total_jobs > 0);
+//! println!("{}", report.render_metrics());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod engine;
+pub mod report;
+pub mod scenario;
+pub mod topology;
+
+pub use engine::Simulation;
+pub use report::Grid3Report;
+pub use scenario::{CampaignSpec, ScenarioConfig};
+pub use topology::{grid3_topology, SiteSpec, Topology};

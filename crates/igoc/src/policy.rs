@@ -1,0 +1,119 @@
+//! The acceptable-use policy (§5.4: "an acceptable use policy modeled
+//! after that used by the LCG was adopted").
+//!
+//! The model captures the operational semantics: users must accept the
+//! policy before their DN reaches any grid-map file, and the policy text
+//! carries enumerable rules the operations center can point to when
+//! revoking access.
+
+use grid3_simkit::ids::UserId;
+use grid3_simkit::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Outcome of an authorization check against the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyDecision {
+    /// The user accepted the policy and is in good standing.
+    Permitted,
+    /// The user never accepted the policy.
+    NotAccepted,
+    /// Access was revoked for a policy violation.
+    Revoked,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Standing {
+    Accepted(SimTime),
+    Revoked(SimTime),
+}
+
+/// The acceptable-use policy and per-user standing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AcceptableUsePolicy {
+    /// The enumerated rules (display text).
+    pub rules: Vec<String>,
+    standings: BTreeMap<UserId, Standing>,
+}
+
+impl AcceptableUsePolicy {
+    /// The LCG-modelled Grid3 policy.
+    pub fn grid3() -> Self {
+        AcceptableUsePolicy {
+            rules: vec![
+                "Resources are provided for the scientific goals of the participating VOs".into(),
+                "No attempt shall be made to circumvent site-local security or allocation policy"
+                    .into(),
+                "Credentials are personal and shall not be shared".into(),
+                "Usage is monitored and logged; logs may be shared with site administrators".into(),
+                "Sites may suspend access without notice to protect their resources".into(),
+            ],
+            standings: BTreeMap::new(),
+        }
+    }
+
+    /// Record that `user` accepted the policy (idempotent; re-acceptance
+    /// after revocation does not restore access).
+    pub fn accept(&mut self, user: UserId, now: SimTime) {
+        self.standings
+            .entry(user)
+            .or_insert(Standing::Accepted(now));
+    }
+
+    /// Revoke a user's access for violation.
+    pub fn revoke(&mut self, user: UserId, now: SimTime) {
+        self.standings.insert(user, Standing::Revoked(now));
+    }
+
+    /// Check a user's standing.
+    pub fn check(&self, user: UserId) -> PolicyDecision {
+        match self.standings.get(&user) {
+            None => PolicyDecision::NotAccepted,
+            Some(Standing::Accepted(_)) => PolicyDecision::Permitted,
+            Some(Standing::Revoked(_)) => PolicyDecision::Revoked,
+        }
+    }
+
+    /// Users in good standing.
+    pub fn permitted_count(&self) -> usize {
+        self.standings
+            .values()
+            .filter(|s| matches!(s, Standing::Accepted(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_gates_access() {
+        let mut p = AcceptableUsePolicy::grid3();
+        assert!(!p.rules.is_empty());
+        assert_eq!(p.check(UserId(1)), PolicyDecision::NotAccepted);
+        p.accept(UserId(1), SimTime::EPOCH);
+        assert_eq!(p.check(UserId(1)), PolicyDecision::Permitted);
+        assert_eq!(p.permitted_count(), 1);
+    }
+
+    #[test]
+    fn revocation_is_sticky() {
+        let mut p = AcceptableUsePolicy::grid3();
+        p.accept(UserId(1), SimTime::EPOCH);
+        p.revoke(UserId(1), SimTime::from_days(2));
+        assert_eq!(p.check(UserId(1)), PolicyDecision::Revoked);
+        // Re-accepting does not restore access.
+        p.accept(UserId(1), SimTime::from_days(3));
+        assert_eq!(p.check(UserId(1)), PolicyDecision::Revoked);
+        assert_eq!(p.permitted_count(), 0);
+    }
+
+    #[test]
+    fn acceptance_is_idempotent() {
+        let mut p = AcceptableUsePolicy::grid3();
+        p.accept(UserId(2), SimTime::EPOCH);
+        p.accept(UserId(2), SimTime::from_days(5));
+        assert_eq!(p.permitted_count(), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! The trouble-ticket system and operations-effort accounting.
+//!
+//! §5.4: "A simple trouble ticket system was used intermittently during
+//! the project." §7 measures the support load it represents: target
+//! < 2 FTE; during the SC2003 ramp-up "typically 10 part-time" people,
+//! settling to "a small support load of less than 2 FTEs" once sites
+//! stabilized — "once a site becomes stable, it usually remains so except
+//! for hardware problems."
+
+use grid3_simkit::ids::{SiteId, TicketId, TicketIdGen};
+use grid3_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What kind of problem a ticket reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TicketKind {
+    /// Storage element / scratch disk filled.
+    DiskFull,
+    /// Gatekeeper or other grid service down.
+    ServiceDown,
+    /// WAN connectivity loss.
+    NetworkOutage,
+    /// Misconfiguration found after certification.
+    Misconfiguration,
+    /// Hardware replacement (the residual cause at stable sites, §7).
+    Hardware,
+    /// User-reported application issue.
+    UserReport,
+}
+
+impl TicketKind {
+    /// Typical *central operations* effort to resolve, in person-hours.
+    /// Most remediation work is done by site administrators (§5.4:
+    /// "ongoing support … is distributed according to responsibility");
+    /// these figures cover the iGOC coordination share, calibrated so the
+    /// steady-state grid lands under the 2-FTE target of §7.
+    pub fn effort_hours(self) -> f64 {
+        match self {
+            TicketKind::DiskFull => 0.75,
+            TicketKind::ServiceDown => 1.0,
+            TicketKind::NetworkOutage => 0.5,
+            TicketKind::Misconfiguration => 4.0,
+            TicketKind::Hardware => 6.0,
+            TicketKind::UserReport => 1.0,
+        }
+    }
+}
+
+/// Ticket lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TicketStatus {
+    /// Awaiting an operator.
+    Open,
+    /// Resolved at the given time.
+    Resolved(
+        /// Resolution time.
+        SimTime,
+    ),
+}
+
+/// One trouble ticket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ticket {
+    /// Ticket identity.
+    pub id: TicketId,
+    /// The affected site.
+    pub site: SiteId,
+    /// Problem category.
+    pub kind: TicketKind,
+    /// When the ticket was opened.
+    pub opened: SimTime,
+    /// Lifecycle state.
+    pub status: TicketStatus,
+    /// Person-hours booked against the ticket.
+    pub effort_hours: f64,
+}
+
+/// The ticket system.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TicketSystem {
+    ids: TicketIdGen,
+    tickets: Vec<Ticket>,
+}
+
+impl TicketSystem {
+    /// An empty system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a ticket; returns its id.
+    pub fn open(&mut self, site: SiteId, kind: TicketKind, now: SimTime) -> TicketId {
+        let id = self.ids.next_id();
+        self.tickets.push(Ticket {
+            id,
+            site,
+            kind,
+            opened: now,
+            status: TicketStatus::Open,
+            effort_hours: 0.0,
+        });
+        id
+    }
+
+    /// Resolve a ticket at `now`, booking its kind's typical effort.
+    /// Returns false for unknown or already-resolved tickets.
+    pub fn resolve(&mut self, id: TicketId, now: SimTime) -> bool {
+        match self.tickets.get_mut(id.index()) {
+            Some(t) if matches!(t.status, TicketStatus::Open) => {
+                t.status = TicketStatus::Resolved(now);
+                t.effort_hours = t.kind.effort_hours();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// All tickets, in open order.
+    pub fn tickets(&self) -> &[Ticket] {
+        &self.tickets
+    }
+
+    /// Open tickets.
+    pub fn open_tickets(&self) -> impl Iterator<Item = &Ticket> {
+        self.tickets
+            .iter()
+            .filter(|t| matches!(t.status, TicketStatus::Open))
+    }
+
+    /// Tickets opened against one site.
+    pub fn for_site(&self, site: SiteId) -> impl Iterator<Item = &Ticket> {
+        self.tickets.iter().filter(move |t| t.site == site)
+    }
+
+    /// Person-hours booked in `[from, to)`, attributed at resolution time.
+    pub fn effort_in_window(&self, from: SimTime, to: SimTime) -> f64 {
+        self.tickets
+            .iter()
+            .filter_map(|t| match t.status {
+                TicketStatus::Resolved(at) if at >= from && at < to => Some(t.effort_hours),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Full-time-equivalents the booked effort represents over a window
+    /// (40-hour work weeks).
+    pub fn fte_in_window(&self, from: SimTime, to: SimTime) -> f64 {
+        let hours = self.effort_in_window(from, to);
+        let weeks = to.since(from).as_days_f64() / 7.0;
+        if weeks <= 0.0 {
+            return 0.0;
+        }
+        hours / (40.0 * weeks)
+    }
+
+    /// Mean time-to-resolve among resolved tickets.
+    pub fn mean_resolution_time(&self) -> Option<SimDuration> {
+        let resolved: Vec<f64> = self
+            .tickets
+            .iter()
+            .filter_map(|t| match t.status {
+                TicketStatus::Resolved(at) => Some(at.since(t.opened).as_secs_f64()),
+                _ => None,
+            })
+            .collect();
+        if resolved.is_empty() {
+            None
+        } else {
+            Some(SimDuration::from_secs_f64(
+                resolved.iter().sum::<f64>() / resolved.len() as f64,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_and_resolve_lifecycle() {
+        let mut ts = TicketSystem::new();
+        let id = ts.open(SiteId(3), TicketKind::DiskFull, SimTime::from_hours(10));
+        assert_eq!(ts.open_tickets().count(), 1);
+        assert!(ts.resolve(id, SimTime::from_hours(16)));
+        assert!(!ts.resolve(id, SimTime::from_hours(17)), "double resolve");
+        assert_eq!(ts.open_tickets().count(), 0);
+        let t = &ts.tickets()[0];
+        assert_eq!(t.effort_hours, TicketKind::DiskFull.effort_hours());
+        assert_eq!(
+            ts.mean_resolution_time().unwrap(),
+            SimDuration::from_hours(6)
+        );
+    }
+
+    #[test]
+    fn effort_windows_attribute_at_resolution() {
+        let mut ts = TicketSystem::new();
+        let a = ts.open(SiteId(0), TicketKind::ServiceDown, SimTime::from_days(1));
+        let b = ts.open(SiteId(1), TicketKind::Hardware, SimTime::from_days(1));
+        ts.resolve(a, SimTime::from_days(2));
+        ts.resolve(b, SimTime::from_days(20));
+        let week1 = ts.effort_in_window(SimTime::EPOCH, SimTime::from_days(7));
+        assert_eq!(week1, TicketKind::ServiceDown.effort_hours());
+        let all = ts.effort_in_window(SimTime::EPOCH, SimTime::from_days(30));
+        assert_eq!(
+            all,
+            TicketKind::ServiceDown.effort_hours() + TicketKind::Hardware.effort_hours()
+        );
+    }
+
+    #[test]
+    fn steady_state_load_is_under_two_fte() {
+        // §7's shape: a stable 27-site grid generates a few tickets a week;
+        // the implied load must land below 2 FTE.
+        let mut ts = TicketSystem::new();
+        let window_days = 28u64;
+        // ~8 tickets/week of mixed kinds — a busy but stable grid.
+        let kinds = [
+            TicketKind::DiskFull,
+            TicketKind::ServiceDown,
+            TicketKind::UserReport,
+            TicketKind::NetworkOutage,
+        ];
+        let mut n = 0u64;
+        for day in 0..window_days {
+            for (i, kind) in kinds.iter().enumerate() {
+                if (day as usize + i).is_multiple_of(3) {
+                    let id = ts.open(SiteId((n % 27) as u32), *kind, SimTime::from_days(day));
+                    ts.resolve(id, SimTime::from_days(day) + SimDuration::from_hours(8));
+                    n += 1;
+                }
+            }
+        }
+        let fte = ts.fte_in_window(SimTime::EPOCH, SimTime::from_days(window_days));
+        assert!(fte < 2.0, "steady-state FTE {fte:.2} exceeds the target");
+        assert!(fte > 0.1, "load should be non-trivial, got {fte:.2}");
+    }
+
+    #[test]
+    fn per_site_queries() {
+        let mut ts = TicketSystem::new();
+        ts.open(SiteId(5), TicketKind::Misconfiguration, SimTime::EPOCH);
+        ts.open(SiteId(6), TicketKind::DiskFull, SimTime::EPOCH);
+        ts.open(SiteId(5), TicketKind::UserReport, SimTime::EPOCH);
+        assert_eq!(ts.for_site(SiteId(5)).count(), 2);
+        assert_eq!(ts.for_site(SiteId(9)).count(), 0);
+    }
+
+    #[test]
+    fn empty_system_edge_cases() {
+        let ts = TicketSystem::new();
+        assert!(ts.mean_resolution_time().is_none());
+        assert_eq!(ts.fte_in_window(SimTime::EPOCH, SimTime::EPOCH), 0.0);
+    }
+}

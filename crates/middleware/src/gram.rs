@@ -1,0 +1,316 @@
+//! The GRAM gatekeeper and its empirical load model.
+//!
+//! §6.4 is the paper's most quantitative systems finding:
+//!
+//! > "In general, a typical gatekeeper using a queue manager will
+//! > experience a sustained one minute load of ~225 when managing ~1000
+//! > computational jobs. This load can sharply increase when the job
+//! > submission frequency is high, thus short duration high frequency
+//! > computational jobs tend to sharply increase the gatekeeper loading.
+//! > For computational jobs that only require a minimal amount of
+//! > production node file staging, a factor of two can be applied to the
+//! > sustained load; on the other hand computational jobs requiring a
+//! > substantial amount of file staging the factor can increase to three
+//! > or four."
+//!
+//! Encoded here as:
+//!
+//! ```text
+//! load₁ₘ(t) = 0.225 · Σ_{j ∈ managed} staging_factor(j)
+//!           + SPIKE_PER_SUBMISSION · submissions in (t−60 s, t]
+//! ```
+//!
+//! with `staging_factor ∈ {1, 2, 3, 4}` from
+//! [`JobSpec::staging_load_factor`](grid3_site::job::JobSpec::staging_load_factor).
+//! When the load exceeds the overload threshold, new submissions fail with
+//! [`GramError::Overloaded`] — the "gatekeeper overloading" failures §6.1
+//! counts among the dominant site problems.
+
+use grid3_simkit::ids::{JobId, SiteId};
+use grid3_simkit::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Sustained-load contribution per managed job at staging factor 1
+/// (225 load / 1000 jobs).
+pub const LOAD_PER_MANAGED_JOB: f64 = 0.225;
+
+/// Load contribution per submission in the trailing minute (the "sharply
+/// increase when the job submission frequency is high" term).
+pub const SPIKE_PER_SUBMISSION: f64 = 2.0;
+
+/// Default load at which the gatekeeper starts refusing submissions.
+pub const DEFAULT_OVERLOAD_THRESHOLD: f64 = 500.0;
+
+/// The paper's sustained-load law as a pure function, for parameter sweeps
+/// (the `gkload` experiment): managed jobs × staging factor.
+pub fn sustained_load(managed_jobs: usize, staging_factor: f64) -> f64 {
+    LOAD_PER_MANAGED_JOB * managed_jobs as f64 * staging_factor
+}
+
+/// Gatekeeper errors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GramError {
+    /// Load exceeded the overload threshold; submission refused.
+    Overloaded {
+        /// The 1-minute load at refusal time.
+        load: f64,
+    },
+    /// The gatekeeper service is down.
+    ServiceDown,
+    /// Job id not managed by this gatekeeper.
+    UnknownJob,
+}
+
+/// One site's GRAM gatekeeper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gatekeeper {
+    /// The site this gatekeeper fronts.
+    pub site: SiteId,
+    managed: HashMap<JobId, f64>,
+    managed_weight: f64,
+    submissions: VecDeque<SimTime>,
+    overload_threshold: f64,
+    /// Whether the service is up.
+    pub up: bool,
+    peak_load: f64,
+    refused: u64,
+    accepted: u64,
+}
+
+impl Gatekeeper {
+    /// A gatekeeper with the default overload threshold.
+    pub fn new(site: SiteId) -> Self {
+        Self::with_threshold(site, DEFAULT_OVERLOAD_THRESHOLD)
+    }
+
+    /// A gatekeeper with an explicit overload threshold.
+    pub fn with_threshold(site: SiteId, threshold: f64) -> Self {
+        Gatekeeper {
+            site,
+            managed: HashMap::new(),
+            managed_weight: 0.0,
+            submissions: VecDeque::new(),
+            overload_threshold: threshold,
+            up: true,
+            peak_load: 0.0,
+            refused: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Jobs currently managed.
+    pub fn managed_count(&self) -> usize {
+        self.managed.len()
+    }
+
+    /// The 1-minute load at `now`, per the §6.4 model.
+    pub fn load_one_min(&mut self, now: SimTime) -> f64 {
+        self.expire_submissions(now);
+        LOAD_PER_MANAGED_JOB * self.managed_weight
+            + SPIKE_PER_SUBMISSION * self.submissions.len() as f64
+    }
+
+    /// Submit a job with the given staging factor. On acceptance the job
+    /// is managed until [`Gatekeeper::job_done`].
+    pub fn submit(
+        &mut self,
+        job: JobId,
+        staging_factor: f64,
+        now: SimTime,
+    ) -> Result<(), GramError> {
+        if !self.up {
+            return Err(GramError::ServiceDown);
+        }
+        let load = self.load_one_min(now);
+        self.peak_load = self.peak_load.max(load);
+        if load > self.overload_threshold {
+            self.refused += 1;
+            return Err(GramError::Overloaded { load });
+        }
+        self.submissions.push_back(now);
+        self.managed.insert(job, staging_factor);
+        self.managed_weight += staging_factor;
+        self.accepted += 1;
+        Ok(())
+    }
+
+    /// A managed job reached a terminal state; stop managing it.
+    pub fn job_done(&mut self, job: JobId) -> Result<(), GramError> {
+        match self.managed.remove(&job) {
+            Some(w) => {
+                self.managed_weight = (self.managed_weight - w).max(0.0);
+                Ok(())
+            }
+            None => Err(GramError::UnknownJob),
+        }
+    }
+
+    /// Crash the service: all managed state is lost (jobs die at the site
+    /// level; the caller accounts for them). Returns the orphaned job ids.
+    pub fn crash(&mut self) -> Vec<JobId> {
+        self.up = false;
+        self.managed_weight = 0.0;
+        self.submissions.clear();
+        let mut orphans: Vec<JobId> = self.managed.drain().map(|(j, _)| j).collect();
+        orphans.sort();
+        orphans
+    }
+
+    /// Restart after a crash.
+    pub fn restart(&mut self) {
+        self.up = true;
+    }
+
+    /// Highest 1-minute load observed at submission time.
+    pub fn peak_load(&self) -> f64 {
+        self.peak_load
+    }
+
+    /// Submissions refused for overload.
+    pub fn refused_count(&self) -> u64 {
+        self.refused
+    }
+
+    /// Submissions accepted.
+    pub fn accepted_count(&self) -> u64 {
+        self.accepted
+    }
+
+    fn expire_submissions(&mut self, now: SimTime) {
+        let window = SimDuration::from_secs(60);
+        while let Some(front) = self.submissions.front() {
+            if now.since(*front) > window {
+                self.submissions.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_point_holds() {
+        // ~1000 managed jobs at factor 1 → sustained load ~225 (§6.4).
+        assert!((sustained_load(1000, 1.0) - 225.0).abs() < 1e-9);
+        // Minimal staging doubles it; substantial staging reaches 3–4×.
+        assert!((sustained_load(1000, 2.0) - 450.0).abs() < 1e-9);
+        assert!((sustained_load(1000, 4.0) - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn managed_jobs_raise_sustained_load() {
+        let mut gk = Gatekeeper::with_threshold(SiteId(0), 1e9);
+        let t0 = SimTime::EPOCH;
+        for i in 0..100 {
+            gk.submit(JobId(i), 1.0, t0).unwrap();
+        }
+        // After the submission spike window passes, load is pure sustained.
+        let later = t0 + SimDuration::from_secs(120);
+        let load = gk.load_one_min(later);
+        assert!((load - 22.5).abs() < 1e-9, "load {load}");
+        assert_eq!(gk.managed_count(), 100);
+    }
+
+    #[test]
+    fn staging_factor_multiplies_load() {
+        let mut gk = Gatekeeper::with_threshold(SiteId(0), 1e9);
+        for i in 0..100 {
+            gk.submit(JobId(i), 4.0, SimTime::EPOCH).unwrap();
+        }
+        let load = gk.load_one_min(SimTime::EPOCH + SimDuration::from_secs(120));
+        assert!((load - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn submission_bursts_spike_load() {
+        let mut gk = Gatekeeper::with_threshold(SiteId(0), 1e9);
+        let t = SimTime::from_secs(100);
+        for i in 0..50 {
+            gk.submit(JobId(i), 1.0, t).unwrap();
+        }
+        // Within the window: 50 submissions × 2.0 spike + 50 × 0.225.
+        let load_now = gk.load_one_min(t + SimDuration::from_secs(30));
+        assert!((load_now - (100.0 + 11.25)).abs() < 1e-9, "{load_now}");
+        // After 61 s the spike decays to the sustained term only.
+        let load_later = gk.load_one_min(t + SimDuration::from_secs(61));
+        assert!((load_later - 11.25).abs() < 1e-9, "{load_later}");
+    }
+
+    #[test]
+    fn overload_refuses_submissions() {
+        let mut gk = Gatekeeper::with_threshold(SiteId(0), 100.0);
+        let t = SimTime::EPOCH;
+        let mut refused = 0;
+        for i in 0..200 {
+            if gk.submit(JobId(i), 1.0, t).is_err() {
+                refused += 1;
+            }
+        }
+        assert!(refused > 0);
+        assert_eq!(gk.refused_count(), refused);
+        assert_eq!(gk.accepted_count() + refused, 200);
+        // Load at first refusal exceeded the threshold.
+        assert!(gk.peak_load() > 100.0);
+        // Once the burst window passes, submissions are accepted again.
+        let later = t + SimDuration::from_secs(120);
+        assert!(gk.submit(JobId(9999), 1.0, later).is_ok());
+    }
+
+    #[test]
+    fn job_done_releases_load() {
+        let mut gk = Gatekeeper::with_threshold(SiteId(0), 1e9);
+        gk.submit(JobId(1), 3.0, SimTime::EPOCH).unwrap();
+        gk.job_done(JobId(1)).unwrap();
+        assert_eq!(gk.managed_count(), 0);
+        let load = gk.load_one_min(SimTime::from_secs(120));
+        assert_eq!(load, 0.0);
+        assert_eq!(gk.job_done(JobId(1)), Err(GramError::UnknownJob));
+    }
+
+    #[test]
+    fn crash_orphans_jobs_and_blocks_submissions() {
+        let mut gk = Gatekeeper::new(SiteId(0));
+        gk.submit(JobId(5), 1.0, SimTime::EPOCH).unwrap();
+        gk.submit(JobId(3), 1.0, SimTime::EPOCH).unwrap();
+        let orphans = gk.crash();
+        assert_eq!(orphans, vec![JobId(3), JobId(5)]);
+        assert_eq!(
+            gk.submit(JobId(7), 1.0, SimTime::EPOCH),
+            Err(GramError::ServiceDown)
+        );
+        gk.restart();
+        assert!(gk.submit(JobId(7), 1.0, SimTime::EPOCH).is_ok());
+    }
+
+    #[test]
+    fn short_high_frequency_jobs_load_more_than_long_jobs() {
+        // §6.4's observation: at equal concurrency, a high submission
+        // frequency (short jobs recycling constantly) loads the gatekeeper
+        // far more than stable long jobs.
+        let mut short = Gatekeeper::with_threshold(SiteId(0), 1e9);
+        let mut long = Gatekeeper::with_threshold(SiteId(1), 1e9);
+        let mut t = SimTime::EPOCH;
+        // Long jobs: 50 submitted once, then idle.
+        for i in 0..50 {
+            long.submit(JobId(i), 1.0, t).unwrap();
+        }
+        // Short jobs: 50 concurrent but churning — one finishes and one is
+        // submitted every second.
+        for i in 0..50 {
+            short.submit(JobId(i), 1.0, t).unwrap();
+        }
+        for i in 50..150 {
+            t += SimDuration::from_secs(1);
+            short.job_done(JobId(i - 50)).unwrap();
+            short.submit(JobId(i), 1.0, t).unwrap();
+        }
+        let ls = short.load_one_min(t);
+        let ll = long.load_one_min(t);
+        assert!(ls > 5.0 * ll, "short {ls} vs long {ll}");
+    }
+}

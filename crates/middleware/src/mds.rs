@@ -1,0 +1,328 @@
+//! Monitoring and Discovery Service (MDS): GRIS → GIIS hierarchy with the
+//! Grid3 GLUE-schema extensions.
+//!
+//! §5.1: each site runs an "information service based on MDS, with
+//! registration scripts to VO-specific information index servers", and
+//! "information providers were developed for site configuration parameters
+//! such as application installation areas, temporary working directories,
+//! storage element locations, and VDT software installation locations.
+//! Only a few extensions to the GLUE MDS schema were required."
+//!
+//! The model: every site's GRIS periodically publishes a [`GlueRecord`];
+//! VO-level [`GiisIndex`]es list the sites registered to each VO; the
+//! top-level [`MdsDirectory`] at the iGOC aggregates everything with a TTL
+//! so stale sites drop out of brokering.
+
+use grid3_simkit::ids::SiteId;
+use grid3_simkit::time::{SimDuration, SimTime};
+use grid3_simkit::units::{Bandwidth, Bytes};
+use grid3_site::cluster::Site;
+use grid3_site::vo::Vo;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A site's published information record: core GLUE attributes plus the
+/// Grid3 schema extensions of §5.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlueRecord {
+    /// Which site this record describes.
+    pub site: SiteId,
+    /// Facility name.
+    pub site_name: String,
+    /// Total batch slots.
+    pub total_cpus: u32,
+    /// Currently free slots.
+    pub free_cpus: u32,
+    /// Jobs waiting in the batch queue.
+    pub queued_jobs: u32,
+    /// Longest grantable walltime (§8 asks sites to publish this).
+    pub max_walltime: SimDuration,
+    /// Free space on the storage element.
+    pub se_free: Bytes,
+    /// Storage element capacity.
+    pub se_total: Bytes,
+    /// Gatekeeper WAN bandwidth.
+    pub wan_bandwidth: Bandwidth,
+    /// Whether worker nodes have outbound connectivity.
+    pub outbound_connectivity: bool,
+    /// VOs admitted by local policy (`None` = all).
+    pub allowed_vos: Option<Vec<Vo>>,
+    // --- Grid3 GLUE extensions (§5.1) ---
+    /// VO that operates the facility (informs the §6.4 "favor the
+    /// resources provided within their VO" behaviour).
+    pub owner_vo: Option<Vo>,
+    /// Application installation area ($APP).
+    pub app_install_area: String,
+    /// Temporary working directory ($TMP).
+    pub tmp_dir: String,
+    /// Storage element data directory ($DATA).
+    pub data_dir: String,
+    /// VDT installation location.
+    pub vdt_location: String,
+    /// Installed VDT version string.
+    pub vdt_version: String,
+    /// When the GRIS produced this record.
+    pub timestamp: SimTime,
+}
+
+impl GlueRecord {
+    /// Snapshot a site's current state into a record (what the GRIS
+    /// information providers collect).
+    pub fn from_site(site: &Site, vdt_version: &str, now: SimTime) -> Self {
+        GlueRecord {
+            site: site.id,
+            site_name: site.profile.name.clone(),
+            total_cpus: site.total_slots() as u32,
+            free_cpus: site.free_slots() as u32,
+            queued_jobs: site.queued_count() as u32,
+            max_walltime: site.profile.policy.max_walltime,
+            se_free: site.storage.free(),
+            se_total: site.storage.capacity(),
+            wan_bandwidth: site.profile.wan_bandwidth,
+            outbound_connectivity: site.profile.outbound_connectivity,
+            allowed_vos: site.profile.policy.allowed_vos.clone(),
+            owner_vo: site.profile.owner_vo,
+            app_install_area: format!("/grid3/app/{}", site.profile.name),
+            tmp_dir: format!("/grid3/tmp/{}", site.profile.name),
+            data_dir: format!("/grid3/data/{}", site.profile.name),
+            vdt_location: "/grid3/vdt".into(),
+            vdt_version: vdt_version.into(),
+            timestamp: now,
+        }
+    }
+
+    /// Whether this record admits the given VO.
+    pub fn admits_vo(&self, vo: Vo) -> bool {
+        match &self.allowed_vos {
+            None => true,
+            Some(vs) => vs.contains(&vo),
+        }
+    }
+}
+
+/// A VO-level information index server: the list of sites registered to
+/// one VO's GIIS (§5.1 "registration scripts to VO-specific information
+/// index servers").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GiisIndex {
+    /// The VO this index serves.
+    pub vo: Vo,
+    sites: Vec<SiteId>,
+}
+
+impl GiisIndex {
+    /// An empty index for `vo`.
+    pub fn new(vo: Vo) -> Self {
+        GiisIndex {
+            vo,
+            sites: Vec::new(),
+        }
+    }
+
+    /// Register a site (idempotent).
+    pub fn register(&mut self, site: SiteId) {
+        if !self.sites.contains(&site) {
+            self.sites.push(site);
+        }
+    }
+
+    /// Deregister a site.
+    pub fn deregister(&mut self, site: SiteId) {
+        self.sites.retain(|s| *s != site);
+    }
+
+    /// Registered sites, in registration order.
+    pub fn sites(&self) -> &[SiteId] {
+        &self.sites
+    }
+}
+
+/// The top-level MDS index at the iGOC (§5.4 hosts "the top-level MDS
+/// index server"). Records older than the TTL are treated as stale, which
+/// is how dead sites disappear from brokering.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MdsDirectory {
+    records: HashMap<SiteId, GlueRecord>,
+    ttl: SimDuration,
+}
+
+impl MdsDirectory {
+    /// The GRIS republish period Grid3 ran (minutes-scale); records twice
+    /// this old are considered stale.
+    pub const DEFAULT_TTL: SimDuration = SimDuration::from_mins(10);
+
+    /// A directory with the given staleness TTL.
+    pub fn new(ttl: SimDuration) -> Self {
+        MdsDirectory {
+            records: HashMap::new(),
+            ttl,
+        }
+    }
+
+    /// A directory with the default TTL.
+    pub fn with_default_ttl() -> Self {
+        Self::new(Self::DEFAULT_TTL)
+    }
+
+    /// Publish (upsert) a site's record.
+    pub fn publish(&mut self, record: GlueRecord) {
+        self.records.insert(record.site, record);
+    }
+
+    /// Change the staleness TTL (must cover the GRIS republish period).
+    pub fn set_ttl(&mut self, ttl: SimDuration) {
+        self.ttl = ttl;
+    }
+
+    /// The latest record for a site, fresh or stale.
+    pub fn lookup(&self, site: SiteId) -> Option<&GlueRecord> {
+        self.records.get(&site)
+    }
+
+    /// Whether a site's record is fresh at `now`.
+    pub fn is_fresh(&self, site: SiteId, now: SimTime) -> bool {
+        self.records
+            .get(&site)
+            .map(|r| now.since(r.timestamp) <= self.ttl)
+            .unwrap_or(false)
+    }
+
+    /// All fresh records at `now`, sorted by site id (deterministic
+    /// brokering order).
+    pub fn fresh_records(&self, now: SimTime) -> Vec<&GlueRecord> {
+        let mut v: Vec<&GlueRecord> = self
+            .records
+            .values()
+            .filter(|r| now.since(r.timestamp) <= self.ttl)
+            .collect();
+        v.sort_by_key(|r| r.site);
+        v
+    }
+
+    /// Fresh records admitting `vo`, the broker's candidate list.
+    pub fn candidates_for(&self, vo: Vo, now: SimTime) -> Vec<&GlueRecord> {
+        self.fresh_records(now)
+            .into_iter()
+            .filter(|r| r.admits_vo(vo))
+            .collect()
+    }
+
+    /// Number of records held (fresh or stale).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid3_site::cluster::{SitePolicy, SiteProfile, SiteTier};
+    use grid3_site::failure::FailureModel;
+    use grid3_site::scheduler::SchedulerKind;
+
+    fn mk_site(id: u32, name: &str) -> Site {
+        Site::new(
+            SiteId(id),
+            SiteProfile {
+                name: name.into(),
+                tier: SiteTier::Tier2,
+                owner_vo: Some(Vo::Usatlas),
+                cpus: 64,
+                node_speed: 1.0,
+                outbound_connectivity: true,
+                wan_bandwidth: Bandwidth::from_mbit_per_sec(155.0),
+                storage_capacity: Bytes::from_tb(2),
+                scheduler: SchedulerKind::OpenPbs,
+                dedicated: false,
+                policy: SitePolicy::open(SimDuration::from_hours(72)),
+                failures: FailureModel::none(),
+            },
+        )
+    }
+
+    #[test]
+    fn record_snapshots_site_state() {
+        let site = mk_site(0, "UC_ATLAS_Tier2");
+        let rec = GlueRecord::from_site(&site, "VDT-1.1.8", SimTime::from_hours(1));
+        assert_eq!(rec.total_cpus, 64);
+        assert_eq!(rec.free_cpus, 64);
+        assert_eq!(rec.queued_jobs, 0);
+        assert_eq!(rec.se_total, Bytes::from_tb(2));
+        assert_eq!(rec.app_install_area, "/grid3/app/UC_ATLAS_Tier2");
+        assert_eq!(rec.vdt_version, "VDT-1.1.8");
+        assert!(rec.admits_vo(Vo::Ligo));
+    }
+
+    #[test]
+    fn giis_registration_is_idempotent() {
+        let mut g = GiisIndex::new(Vo::Uscms);
+        g.register(SiteId(1));
+        g.register(SiteId(1));
+        g.register(SiteId(2));
+        assert_eq!(g.sites(), &[SiteId(1), SiteId(2)]);
+        g.deregister(SiteId(1));
+        assert_eq!(g.sites(), &[SiteId(2)]);
+    }
+
+    #[test]
+    fn directory_ttl_hides_stale_sites() {
+        let mut dir = MdsDirectory::new(SimDuration::from_mins(10));
+        let site = mk_site(0, "A");
+        dir.publish(GlueRecord::from_site(&site, "VDT-1.1.8", SimTime::EPOCH));
+        assert!(dir.is_fresh(SiteId(0), SimTime::from_mins(10)));
+        assert!(!dir.is_fresh(SiteId(0), SimTime::from_mins(11)));
+        assert_eq!(dir.fresh_records(SimTime::from_mins(11)).len(), 0);
+        // Republishing refreshes.
+        dir.publish(GlueRecord::from_site(
+            &site,
+            "VDT-1.1.8",
+            SimTime::from_mins(11),
+        ));
+        assert!(dir.is_fresh(SiteId(0), SimTime::from_mins(20)));
+    }
+
+    #[test]
+    fn candidates_filter_by_vo_policy() {
+        let mut dir = MdsDirectory::with_default_ttl();
+        let mut site_a = mk_site(0, "A");
+        site_a.profile.policy.allowed_vos = Some(vec![Vo::Usatlas]);
+        let site_b = mk_site(1, "B");
+        dir.publish(GlueRecord::from_site(&site_a, "VDT", SimTime::EPOCH));
+        dir.publish(GlueRecord::from_site(&site_b, "VDT", SimTime::EPOCH));
+        let atlas = dir.candidates_for(Vo::Usatlas, SimTime::EPOCH);
+        assert_eq!(atlas.len(), 2);
+        let cms = dir.candidates_for(Vo::Uscms, SimTime::EPOCH);
+        assert_eq!(cms.len(), 1);
+        assert_eq!(cms[0].site, SiteId(1));
+    }
+
+    #[test]
+    fn fresh_records_sorted_by_site_id() {
+        let mut dir = MdsDirectory::with_default_ttl();
+        for id in [3u32, 0, 2, 1] {
+            let site = mk_site(id, &format!("S{id}"));
+            dir.publish(GlueRecord::from_site(&site, "VDT", SimTime::EPOCH));
+        }
+        let ids: Vec<u32> = dir
+            .fresh_records(SimTime::EPOCH)
+            .iter()
+            .map(|r| r.site.0)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(dir.len(), 4);
+    }
+
+    #[test]
+    fn lookup_returns_latest_even_if_stale() {
+        let mut dir = MdsDirectory::new(SimDuration::from_mins(1));
+        let site = mk_site(0, "A");
+        dir.publish(GlueRecord::from_site(&site, "VDT", SimTime::EPOCH));
+        assert!(dir.lookup(SiteId(0)).is_some());
+        assert!(dir.lookup(SiteId(9)).is_none());
+    }
+}

@@ -1,0 +1,248 @@
+//! Replica Location Service (RLS).
+//!
+//! The paper's data management model "is based on GridFTP and RLS" (§8),
+//! with the Giggle LRC/RLI design it cites: each site runs a Local Replica
+//! Catalog (LRC) mapping logical file names to physical locations, and a
+//! Replica Location Index (RLI) aggregates which LRCs know each logical
+//! file. Job lifecycles end with RLS registration (§6.1 counts
+//! registration among the steps that must all succeed), and LIGO publishes
+//! staged-data locations "in RLS so that its location is available to the
+//! job" (§4.4).
+
+use grid3_simkit::ids::{FileId, SiteId};
+use grid3_simkit::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Errors from catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RlsError {
+    /// The logical file has no replica registered anywhere.
+    UnknownLfn(
+        /// The unknown logical file.
+        FileId,
+    ),
+    /// The (lfn, site) replica pair is not registered.
+    NoSuchReplica {
+        /// Logical file.
+        lfn: FileId,
+        /// Site that was expected to hold a replica.
+        site: SiteId,
+    },
+}
+
+/// The grid-wide replica service: per-site LRCs plus the global RLI.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReplicaLocationService {
+    /// site → (lfn → physical file name).
+    lrcs: HashMap<SiteId, BTreeMap<FileId, String>>,
+    /// lfn → sites holding a replica (the RLI view).
+    rli: HashMap<FileId, BTreeSet<SiteId>>,
+    /// lfn → size attribute (RLS metadata; planners budget transfers
+    /// with it).
+    sizes: HashMap<FileId, Bytes>,
+}
+
+impl ReplicaLocationService {
+    /// An empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a replica of `lfn` at `site`. The PFN is derived from the
+    /// site and LFN, as Grid3 conventions did. Idempotent per (lfn, site).
+    pub fn register(&mut self, lfn: FileId, site: SiteId, size: Bytes) {
+        let pfn = format!("gsiftp://{site}/grid3/data/{lfn}");
+        self.lrcs.entry(site).or_default().insert(lfn, pfn);
+        self.rli.entry(lfn).or_default().insert(site);
+        self.sizes.insert(lfn, size);
+    }
+
+    /// Remove a replica. Errors if it was not registered.
+    pub fn unregister(&mut self, lfn: FileId, site: SiteId) -> Result<(), RlsError> {
+        let lrc = self
+            .lrcs
+            .get_mut(&site)
+            .ok_or(RlsError::NoSuchReplica { lfn, site })?;
+        if lrc.remove(&lfn).is_none() {
+            return Err(RlsError::NoSuchReplica { lfn, site });
+        }
+        if let Some(sites) = self.rli.get_mut(&lfn) {
+            sites.remove(&site);
+            if sites.is_empty() {
+                self.rli.remove(&lfn);
+                self.sizes.remove(&lfn);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sites holding a replica of `lfn`, in site-id order (RLI query).
+    pub fn locate(&self, lfn: FileId) -> Result<Vec<SiteId>, RlsError> {
+        self.rli
+            .get(&lfn)
+            .filter(|s| !s.is_empty())
+            .map(|s| s.iter().copied().collect())
+            .ok_or(RlsError::UnknownLfn(lfn))
+    }
+
+    /// The physical file name of a replica at a specific site (LRC query).
+    pub fn pfn(&self, lfn: FileId, site: SiteId) -> Result<&str, RlsError> {
+        self.lrcs
+            .get(&site)
+            .and_then(|lrc| lrc.get(&lfn))
+            .map(|s| s.as_str())
+            .ok_or(RlsError::NoSuchReplica { lfn, site })
+    }
+
+    /// Registered size attribute for a logical file.
+    pub fn size_of(&self, lfn: FileId) -> Result<Bytes, RlsError> {
+        self.sizes
+            .get(&lfn)
+            .copied()
+            .ok_or(RlsError::UnknownLfn(lfn))
+    }
+
+    /// Whether any replica of `lfn` exists.
+    pub fn exists(&self, lfn: FileId) -> bool {
+        self.rli.get(&lfn).map(|s| !s.is_empty()).unwrap_or(false)
+    }
+
+    /// Number of logical files known.
+    pub fn lfn_count(&self) -> usize {
+        self.rli.len()
+    }
+
+    /// Number of replicas registered at one site.
+    pub fn replicas_at(&self, site: SiteId) -> usize {
+        self.lrcs.get(&site).map(|l| l.len()).unwrap_or(0)
+    }
+
+    /// Total replicas across all sites (≥ lfn_count when files are
+    /// multiply replicated).
+    pub fn replica_count(&self) -> usize {
+        self.lrcs.values().map(|l| l.len()).sum()
+    }
+
+    /// Drop every replica registered at a site (site storage lost). The
+    /// RLI is updated; LFNs whose last replica vanished become unknown.
+    pub fn drop_site(&mut self, site: SiteId) -> usize {
+        let Some(lrc) = self.lrcs.remove(&site) else {
+            return 0;
+        };
+        let n = lrc.len();
+        for lfn in lrc.keys() {
+            if let Some(sites) = self.rli.get_mut(lfn) {
+                sites.remove(&site);
+                if sites.is_empty() {
+                    self.rli.remove(lfn);
+                    self.sizes.remove(lfn);
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_locate_round_trip() {
+        let mut rls = ReplicaLocationService::new();
+        rls.register(FileId(1), SiteId(2), Bytes::from_gb(2));
+        rls.register(FileId(1), SiteId(0), Bytes::from_gb(2));
+        assert_eq!(rls.locate(FileId(1)).unwrap(), vec![SiteId(0), SiteId(2)]);
+        assert!(rls.exists(FileId(1)));
+        assert_eq!(rls.size_of(FileId(1)).unwrap(), Bytes::from_gb(2));
+        assert_eq!(
+            rls.pfn(FileId(1), SiteId(2)).unwrap(),
+            "gsiftp://site-2/grid3/data/lfn-1"
+        );
+    }
+
+    #[test]
+    fn unknown_lfn_errors() {
+        let rls = ReplicaLocationService::new();
+        assert_eq!(rls.locate(FileId(9)), Err(RlsError::UnknownLfn(FileId(9))));
+        assert_eq!(rls.size_of(FileId(9)), Err(RlsError::UnknownLfn(FileId(9))));
+        assert!(!rls.exists(FileId(9)));
+    }
+
+    #[test]
+    fn unregister_updates_rli() {
+        let mut rls = ReplicaLocationService::new();
+        rls.register(FileId(1), SiteId(0), Bytes::from_gb(1));
+        rls.register(FileId(1), SiteId(1), Bytes::from_gb(1));
+        rls.unregister(FileId(1), SiteId(0)).unwrap();
+        assert_eq!(rls.locate(FileId(1)).unwrap(), vec![SiteId(1)]);
+        rls.unregister(FileId(1), SiteId(1)).unwrap();
+        assert!(!rls.exists(FileId(1)));
+        assert_eq!(rls.lfn_count(), 0);
+        // Double unregister errors.
+        assert!(matches!(
+            rls.unregister(FileId(1), SiteId(1)),
+            Err(RlsError::NoSuchReplica { .. })
+        ));
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut rls = ReplicaLocationService::new();
+        rls.register(FileId(1), SiteId(0), Bytes::from_gb(1));
+        rls.register(FileId(1), SiteId(0), Bytes::from_gb(1));
+        assert_eq!(rls.replica_count(), 1);
+        assert_eq!(rls.replicas_at(SiteId(0)), 1);
+    }
+
+    #[test]
+    fn drop_site_erases_last_replicas() {
+        let mut rls = ReplicaLocationService::new();
+        rls.register(FileId(1), SiteId(0), Bytes::from_gb(1)); // only at 0
+        rls.register(FileId(2), SiteId(0), Bytes::from_gb(1)); // at 0 and 1
+        rls.register(FileId(2), SiteId(1), Bytes::from_gb(1));
+        let dropped = rls.drop_site(SiteId(0));
+        assert_eq!(dropped, 2);
+        assert!(!rls.exists(FileId(1)));
+        assert_eq!(rls.locate(FileId(2)).unwrap(), vec![SiteId(1)]);
+        assert_eq!(rls.drop_site(SiteId(5)), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// RLI and LRC views stay consistent under arbitrary operation
+            /// sequences: every RLI entry has a matching LRC entry and
+            /// vice versa.
+            #[test]
+            fn rli_lrc_consistency(ops in proptest::collection::vec(
+                (0u8..3, 0u32..12, 0u32..5), 1..200))
+            {
+                let mut rls = ReplicaLocationService::new();
+                for (op, lfn, site) in ops {
+                    let lfn = FileId(lfn);
+                    let site = SiteId(site);
+                    match op {
+                        0 => rls.register(lfn, site, Bytes::from_gb(1)),
+                        1 => { let _ = rls.unregister(lfn, site); }
+                        _ => { rls.drop_site(site); }
+                    }
+                }
+                // Consistency both directions.
+                let mut rli_pairs = 0usize;
+                for (lfn, sites) in &rls.rli {
+                    for site in sites {
+                        rli_pairs += 1;
+                        prop_assert!(rls.pfn(*lfn, *site).is_ok());
+                    }
+                    prop_assert!(!sites.is_empty());
+                    prop_assert!(rls.sizes.contains_key(lfn));
+                }
+                prop_assert_eq!(rli_pairs, rls.replica_count());
+            }
+        }
+    }
+}

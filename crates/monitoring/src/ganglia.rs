@@ -1,0 +1,277 @@
+//! Ganglia cluster monitoring.
+//!
+//! §5.1: sites install "cluster monitoring services based on Ganglia, with
+//! provisions for hierarchical grid views"; §5.2: "Ganglia is used to
+//! collect cluster monitoring information such as CPU and network load and
+//! memory and disk usage. Ganglia-collected information is available
+//! through web pages served at the sites and a summary \[at\] a central
+//! server at iGOC."
+
+use crate::framework::{Metric, MetricEvent, MetricSink};
+use grid3_simkit::ids::SiteId;
+use grid3_simkit::time::SimTime;
+use grid3_simkit::units::Bytes;
+use grid3_site::cluster::Site;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The per-site Ganglia gmond/gmetad pair: samples the cluster and emits
+/// metric events.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GangliaAgent {
+    /// Site this agent monitors.
+    pub site: SiteId,
+}
+
+impl GangliaAgent {
+    /// An agent for `site`.
+    pub fn new(site: SiteId) -> Self {
+        GangliaAgent { site }
+    }
+
+    /// Sample the cluster: CPU load (running jobs / slots, the classic
+    /// load-average proxy), free slots and disk usage.
+    pub fn sample(&self, site: &Site, now: SimTime) -> Vec<MetricEvent> {
+        let total = site.total_slots() as u32;
+        vec![
+            MetricEvent {
+                at: now,
+                metric: Metric::CpuLoad {
+                    site: self.site,
+                    load: site.running_count() as f64,
+                },
+            },
+            MetricEvent {
+                at: now,
+                metric: Metric::FreeCpus {
+                    site: self.site,
+                    free: site.free_slots() as u32,
+                    total,
+                },
+            },
+            MetricEvent {
+                at: now,
+                metric: Metric::DiskUsage {
+                    site: self.site,
+                    used: site.storage.used(),
+                    total: site.storage.capacity(),
+                },
+            },
+        ]
+    }
+}
+
+/// Snapshot of one site on the central web summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiteSummary {
+    /// Last reported CPU load.
+    pub load: f64,
+    /// Last reported free slots.
+    pub free_cpus: u32,
+    /// Last reported total slots.
+    pub total_cpus: u32,
+    /// Last reported disk used.
+    pub disk_used: Bytes,
+    /// Last reported disk capacity.
+    pub disk_total: Bytes,
+    /// When the site last reported.
+    pub last_seen: SimTime,
+}
+
+/// The central Ganglia web frontend at the iGOC (the grid-level
+/// "hierarchical view" of §5.1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GangliaWeb {
+    summaries: BTreeMap<SiteId, SiteSummary>,
+}
+
+impl GangliaWeb {
+    /// An empty frontend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-site summaries, in site order.
+    pub fn summaries(&self) -> &BTreeMap<SiteId, SiteSummary> {
+        &self.summaries
+    }
+
+    /// Grid-wide total CPUs last reported (the §7 CPU count comes off
+    /// pages like this).
+    pub fn total_cpus(&self) -> u32 {
+        self.summaries.values().map(|s| s.total_cpus).sum()
+    }
+
+    /// Grid-wide busy CPUs.
+    pub fn busy_cpus(&self) -> u32 {
+        self.summaries
+            .values()
+            .map(|s| s.total_cpus - s.free_cpus)
+            .sum()
+    }
+
+    /// Sites whose last report is older than `ttl` relative to `now`.
+    pub fn silent_sites(&self, now: SimTime, ttl: grid3_simkit::time::SimDuration) -> Vec<SiteId> {
+        self.summaries
+            .iter()
+            .filter(|(_, s)| now.since(s.last_seen) > ttl)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+impl MetricSink for GangliaWeb {
+    fn name(&self) -> &str {
+        "Ganglia web"
+    }
+
+    fn ingest(&mut self, event: &MetricEvent) {
+        fn entry(
+            summaries: &mut BTreeMap<SiteId, SiteSummary>,
+            site: SiteId,
+            at: SimTime,
+        ) -> &mut SiteSummary {
+            summaries.entry(site).or_insert(SiteSummary {
+                load: 0.0,
+                free_cpus: 0,
+                total_cpus: 0,
+                disk_used: Bytes::ZERO,
+                disk_total: Bytes::ZERO,
+                last_seen: at,
+            })
+        }
+        match &event.metric {
+            Metric::CpuLoad { site, load } => {
+                let s = entry(&mut self.summaries, *site, event.at);
+                s.load = *load;
+                s.last_seen = event.at;
+            }
+            Metric::FreeCpus { site, free, total } => {
+                let s = entry(&mut self.summaries, *site, event.at);
+                s.free_cpus = *free;
+                s.total_cpus = *total;
+                s.last_seen = event.at;
+            }
+            Metric::DiskUsage { site, used, total } => {
+                let s = entry(&mut self.summaries, *site, event.at);
+                s.disk_used = *used;
+                s.disk_total = *total;
+                s.last_seen = event.at;
+            }
+            _ => {} // Ganglia ignores non-cluster metrics.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grid3_simkit::ids::JobId;
+    use grid3_simkit::time::SimDuration;
+    use grid3_simkit::units::Bandwidth;
+    use grid3_site::cluster::{SitePolicy, SiteProfile, SiteTier};
+    use grid3_site::failure::FailureModel;
+    use grid3_site::scheduler::{QueuedJob, SchedulerKind};
+    use grid3_site::vo::Vo;
+
+    fn mk_site(id: u32, cpus: u32) -> Site {
+        Site::new(
+            SiteId(id),
+            SiteProfile {
+                name: format!("S{id}"),
+                tier: SiteTier::Tier2,
+                owner_vo: None,
+                cpus,
+                node_speed: 1.0,
+                outbound_connectivity: true,
+                wan_bandwidth: Bandwidth::from_mbit_per_sec(100.0),
+                storage_capacity: Bytes::from_tb(1),
+                scheduler: SchedulerKind::OpenPbs,
+                dedicated: true,
+                policy: SitePolicy::open(SimDuration::from_hours(48)),
+                failures: FailureModel::none(),
+            },
+        )
+    }
+
+    #[test]
+    fn agent_samples_cluster_state() {
+        let mut site = mk_site(0, 8);
+        for i in 0..3 {
+            site.enqueue(QueuedJob {
+                job: JobId(i),
+                vo: Vo::Usatlas,
+                requested_walltime: SimDuration::from_hours(4),
+                enqueued: SimTime::EPOCH,
+            });
+        }
+        site.dispatch(SimTime::EPOCH);
+        let agent = GangliaAgent::new(SiteId(0));
+        let events = agent.sample(&site, SimTime::from_mins(5));
+        assert_eq!(events.len(), 3);
+        assert!(matches!(
+            events[0].metric,
+            Metric::CpuLoad { load, .. } if load == 3.0
+        ));
+        assert!(matches!(
+            events[1].metric,
+            Metric::FreeCpus {
+                free: 5,
+                total: 8,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn web_frontend_aggregates_grid_totals() {
+        let mut web = GangliaWeb::new();
+        for (id, total, free) in [(0u32, 100u32, 40u32), (1, 200, 150)] {
+            web.ingest(&MetricEvent {
+                at: SimTime::from_mins(1),
+                metric: Metric::FreeCpus {
+                    site: SiteId(id),
+                    free,
+                    total,
+                },
+            });
+        }
+        assert_eq!(web.total_cpus(), 300);
+        assert_eq!(web.busy_cpus(), 110);
+        assert_eq!(web.summaries().len(), 2);
+    }
+
+    #[test]
+    fn web_frontend_tracks_staleness() {
+        let mut web = GangliaWeb::new();
+        web.ingest(&MetricEvent {
+            at: SimTime::from_mins(0),
+            metric: Metric::CpuLoad {
+                site: SiteId(0),
+                load: 1.0,
+            },
+        });
+        web.ingest(&MetricEvent {
+            at: SimTime::from_mins(30),
+            metric: Metric::CpuLoad {
+                site: SiteId(1),
+                load: 2.0,
+            },
+        });
+        let silent = web.silent_sites(SimTime::from_mins(31), SimDuration::from_mins(10));
+        assert_eq!(silent, vec![SiteId(0)]);
+    }
+
+    #[test]
+    fn web_frontend_ignores_foreign_metrics() {
+        let mut web = GangliaWeb::new();
+        web.ingest(&MetricEvent {
+            at: SimTime::EPOCH,
+            metric: Metric::GatekeeperLoad {
+                site: SiteId(0),
+                load: 225.0,
+            },
+        });
+        assert!(web.summaries().is_empty());
+    }
+}

@@ -1,0 +1,520 @@
+//! Troubleshooting and accounting APIs — the §8 lesson, implemented.
+//!
+//! §8 asks for exactly this: "API for accessing troubleshooting and
+//! accounting information are needed, particularly for the GRAM job
+//! submission and GridFTP file transfer systems. These APIs should provide
+//! direct information without the necessity of parsing log files", and
+//! under Troubleshooting, "the ability to link a job ID on the execution
+//! side with a job ID at the submit (VO) side."
+//!
+//! The [`TraceStore`] records a structured event stream per job — no log
+//! parsing — and maintains the submit-side ↔ execution-side id mapping.
+//! Query surfaces:
+//!
+//! * [`TraceStore::trace`] — the full lifecycle of one job;
+//! * [`TraceStore::find_by_execution_id`] /
+//!   [`TraceStore::find_by_submit_id`] — the §8 id linkage, both ways;
+//! * [`TraceStore::stuck_jobs`] — jobs with no event for a given span
+//!   (the "why is my job not running" question);
+//! * [`TraceStore::accounting_by_user`] — per-user CPU accounting (the
+//!   §5.2 auditing requirement).
+
+use grid3_simkit::ids::{JobId, NodeId, SiteId, UserId};
+use grid3_simkit::time::{SimDuration, SimTime};
+use grid3_simkit::units::Bytes;
+use grid3_site::job::FailureCause;
+use grid3_site::vo::UserClass;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A submit-side (VO/Condor-G) job identifier, distinct from the grid-wide
+/// execution-side [`JobId`]. Real Grid3 had exactly this split — the DAGMan
+/// log spoke one language, the gatekeeper another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SubmitSideId(pub u64);
+
+impl std::fmt::Display for SubmitSideId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vo-job-{}", self.0)
+    }
+}
+
+/// One structured lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// The VO framework submitted the job (submit side).
+    Submitted {
+        /// The submitting user.
+        user: UserId,
+    },
+    /// The broker chose an execution site.
+    Brokered {
+        /// The chosen site.
+        site: SiteId,
+    },
+    /// The gatekeeper accepted the submission (execution side begins).
+    GatekeeperAccepted,
+    /// The gatekeeper refused the submission.
+    GatekeeperRefused,
+    /// Input staging started.
+    StageInStarted {
+        /// Payload size.
+        bytes: Bytes,
+    },
+    /// Input staging finished.
+    StageInDone,
+    /// Queued by the local batch scheduler.
+    Queued,
+    /// Dispatched onto a worker node.
+    Dispatched {
+        /// The node.
+        node: NodeId,
+    },
+    /// Execution finished (successfully or not; failures carry a cause in
+    /// the terminal event).
+    ExecutionEnded,
+    /// Output staging started.
+    StageOutStarted {
+        /// Payload size.
+        bytes: Bytes,
+    },
+    /// Output staging finished.
+    StageOutDone,
+    /// Output registered in RLS.
+    Registered,
+    /// Terminal success.
+    Completed,
+    /// Terminal failure.
+    Failed(
+        /// Why.
+        FailureCause,
+    ),
+}
+
+impl TraceEvent {
+    /// Whether this event ends the job's lifecycle.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, TraceEvent::Completed | TraceEvent::Failed(_))
+    }
+}
+
+/// The recorded trace of one job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobTrace {
+    /// Submit-side identifier.
+    pub submit_id: SubmitSideId,
+    /// Execution-side identifier.
+    pub execution_id: JobId,
+    /// Application class.
+    pub class: UserClass,
+    /// Timestamped lifecycle events, in order.
+    pub events: Vec<(SimTime, TraceEvent)>,
+}
+
+impl JobTrace {
+    /// The last recorded event.
+    pub fn last_event(&self) -> Option<&(SimTime, TraceEvent)> {
+        self.events.last()
+    }
+
+    /// Whether the job reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        self.last_event()
+            .map(|(_, e)| e.is_terminal())
+            .unwrap_or(false)
+    }
+
+    /// Wall time from submission to the terminal event, if terminal.
+    pub fn turnaround(&self) -> Option<SimDuration> {
+        let first = self.events.first()?.0;
+        let (last, e) = self.events.last()?;
+        e.is_terminal().then(|| last.since(first))
+    }
+
+    /// Time between two named phases (first occurrence of each), e.g.
+    /// queue wait = `Queued` → `Dispatched`.
+    pub fn span_between(
+        &self,
+        from: impl Fn(&TraceEvent) -> bool,
+        to: impl Fn(&TraceEvent) -> bool,
+    ) -> Option<SimDuration> {
+        let start = self.events.iter().find(|(_, e)| from(e))?.0;
+        let end = self.events.iter().find(|(_, e)| to(e))?.0;
+        Some(end.since(start))
+    }
+
+    /// Render the trace as a human-readable timeline (the web view §8
+    /// wished it had).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "{} ↔ {} ({})\n",
+            self.submit_id, self.execution_id, self.class
+        );
+        for (at, e) in &self.events {
+            let _ = writeln!(out, "  {at}  {e:?}");
+        }
+        out
+    }
+}
+
+/// Per-user accounting rollup (the §5.2 auditing requirement).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct UserAccount {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs failed.
+    pub failed: u64,
+    /// CPU seconds consumed (dispatch → execution end).
+    pub cpu_secs: f64,
+    /// Bytes staged in and out.
+    pub bytes_moved: u64,
+}
+
+impl UserAccount {
+    /// CPU-days consumed.
+    pub fn cpu_days(&self) -> f64 {
+        self.cpu_secs / 86_400.0
+    }
+}
+
+/// The structured trace store.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStore {
+    traces: Vec<JobTrace>,
+    by_execution: HashMap<JobId, usize>,
+    by_submit: HashMap<SubmitSideId, usize>,
+    accounts: HashMap<UserId, UserAccount>,
+    next_submit_id: u64,
+    dispatch_at: HashMap<JobId, SimTime>,
+    user_of: HashMap<JobId, UserId>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a trace for a new submission; allocates and links the
+    /// submit-side id. Returns the submit-side id.
+    pub fn open(
+        &mut self,
+        execution_id: JobId,
+        class: UserClass,
+        user: UserId,
+        at: SimTime,
+    ) -> SubmitSideId {
+        let submit_id = SubmitSideId(self.next_submit_id);
+        self.next_submit_id += 1;
+        let idx = self.traces.len();
+        self.traces.push(JobTrace {
+            submit_id,
+            execution_id,
+            class,
+            events: vec![(at, TraceEvent::Submitted { user })],
+        });
+        self.by_execution.insert(execution_id, idx);
+        self.by_submit.insert(submit_id, idx);
+        self.accounts.entry(user).or_default().submitted += 1;
+        self.user_of.insert(execution_id, user);
+        submit_id
+    }
+
+    /// Record an event against a job. Unknown jobs are ignored (defensive:
+    /// the store may be enabled mid-run).
+    pub fn record(&mut self, job: JobId, at: SimTime, event: TraceEvent) {
+        let Some(&idx) = self.by_execution.get(&job) else {
+            return;
+        };
+        // Accounting side effects.
+        match &event {
+            TraceEvent::Dispatched { .. } => {
+                self.dispatch_at.insert(job, at);
+            }
+            TraceEvent::ExecutionEnded => {
+                if let (Some(start), Some(user)) =
+                    (self.dispatch_at.remove(&job), self.user_of.get(&job))
+                {
+                    self.accounts.entry(*user).or_default().cpu_secs +=
+                        at.since(start).as_secs_f64();
+                }
+            }
+            TraceEvent::StageInStarted { bytes } | TraceEvent::StageOutStarted { bytes } => {
+                if let Some(user) = self.user_of.get(&job) {
+                    self.accounts.entry(*user).or_default().bytes_moved += bytes.as_u64();
+                }
+            }
+            TraceEvent::Completed => {
+                if let Some(user) = self.user_of.get(&job) {
+                    self.accounts.entry(*user).or_default().completed += 1;
+                }
+            }
+            TraceEvent::Failed(_) => {
+                if let Some(user) = self.user_of.get(&job) {
+                    self.accounts.entry(*user).or_default().failed += 1;
+                }
+            }
+            _ => {}
+        }
+        self.traces[idx].events.push((at, event));
+    }
+
+    /// The trace of an execution-side job.
+    pub fn trace(&self, job: JobId) -> Option<&JobTrace> {
+        self.by_execution.get(&job).map(|&i| &self.traces[i])
+    }
+
+    /// §8 linkage: execution-side id → full trace (including submit id).
+    pub fn find_by_execution_id(&self, job: JobId) -> Option<&JobTrace> {
+        self.trace(job)
+    }
+
+    /// §8 linkage: submit-side id → full trace (including execution id).
+    pub fn find_by_submit_id(&self, submit: SubmitSideId) -> Option<&JobTrace> {
+        self.by_submit.get(&submit).map(|&i| &self.traces[i])
+    }
+
+    /// Number of traces held.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True when no traces were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Non-terminal jobs whose last event is older than `idle` at `now` —
+    /// the troubleshooting query operators actually run.
+    pub fn stuck_jobs(&self, now: SimTime, idle: SimDuration) -> Vec<&JobTrace> {
+        self.traces
+            .iter()
+            .filter(|t| !t.is_terminal())
+            .filter(|t| {
+                t.last_event()
+                    .map(|(at, _)| now.since(*at) > idle)
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Per-user accounting (§5.2 auditing).
+    pub fn accounting_by_user(&self, user: UserId) -> UserAccount {
+        self.accounts.get(&user).copied().unwrap_or_default()
+    }
+
+    /// All accounts, sorted by CPU seconds descending (the heavy hitters
+    /// an operations review starts from).
+    pub fn top_users(&self, n: usize) -> Vec<(UserId, UserAccount)> {
+        let mut v: Vec<(UserId, UserAccount)> =
+            self.accounts.iter().map(|(u, a)| (*u, *a)).collect();
+        v.sort_by(|a, b| {
+            b.1.cpu_secs
+                .partial_cmp(&a.1.cpu_secs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v.truncate(n);
+        v
+    }
+
+    /// Mean queue wait (Queued → Dispatched) across terminal traces — the
+    /// §8 scheduling-information lesson's headline statistic.
+    pub fn mean_queue_wait(&self) -> Option<SimDuration> {
+        let waits: Vec<f64> = self
+            .traces
+            .iter()
+            .filter_map(|t| {
+                t.span_between(
+                    |e| matches!(e, TraceEvent::Queued),
+                    |e| matches!(e, TraceEvent::Dispatched { .. }),
+                )
+            })
+            .map(|d| d.as_secs_f64())
+            .collect();
+        if waits.is_empty() {
+            None
+        } else {
+            Some(SimDuration::from_secs_f64(
+                waits.iter().sum::<f64>() / waits.len() as f64,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_one_job() -> (TraceStore, JobId, SubmitSideId) {
+        let mut ts = TraceStore::new();
+        let job = JobId(7);
+        let sid = ts.open(job, UserClass::Usatlas, UserId(3), SimTime::from_secs(0));
+        ts.record(
+            job,
+            SimTime::from_secs(1),
+            TraceEvent::Brokered { site: SiteId(2) },
+        );
+        ts.record(job, SimTime::from_secs(2), TraceEvent::GatekeeperAccepted);
+        ts.record(
+            job,
+            SimTime::from_secs(3),
+            TraceEvent::StageInStarted {
+                bytes: Bytes::from_gb(1),
+            },
+        );
+        ts.record(job, SimTime::from_secs(100), TraceEvent::StageInDone);
+        ts.record(job, SimTime::from_secs(100), TraceEvent::Queued);
+        ts.record(
+            job,
+            SimTime::from_secs(400),
+            TraceEvent::Dispatched { node: NodeId(5) },
+        );
+        ts.record(job, SimTime::from_secs(4_000), TraceEvent::ExecutionEnded);
+        ts.record(
+            job,
+            SimTime::from_secs(4_001),
+            TraceEvent::StageOutStarted {
+                bytes: Bytes::from_gb(2),
+            },
+        );
+        ts.record(job, SimTime::from_secs(4_200), TraceEvent::StageOutDone);
+        ts.record(job, SimTime::from_secs(4_201), TraceEvent::Registered);
+        ts.record(job, SimTime::from_secs(4_201), TraceEvent::Completed);
+        (ts, job, sid)
+    }
+
+    #[test]
+    fn id_linkage_works_both_ways() {
+        let (ts, job, sid) = store_with_one_job();
+        let by_exec = ts.find_by_execution_id(job).unwrap();
+        assert_eq!(by_exec.submit_id, sid);
+        let by_submit = ts.find_by_submit_id(sid).unwrap();
+        assert_eq!(by_submit.execution_id, job);
+        assert!(ts.find_by_submit_id(SubmitSideId(999)).is_none());
+    }
+
+    #[test]
+    fn trace_answers_lifecycle_questions() {
+        let (ts, job, _) = store_with_one_job();
+        let t = ts.trace(job).unwrap();
+        assert!(t.is_terminal());
+        assert_eq!(t.turnaround(), Some(SimDuration::from_secs(4_201)));
+        // Queue wait: Queued (t=100) → Dispatched (t=400).
+        let wait = t
+            .span_between(
+                |e| matches!(e, TraceEvent::Queued),
+                |e| matches!(e, TraceEvent::Dispatched { .. }),
+            )
+            .unwrap();
+        assert_eq!(wait, SimDuration::from_secs(300));
+        assert_eq!(ts.mean_queue_wait(), Some(SimDuration::from_secs(300)));
+        // The render names both ids.
+        let rendered = t.render();
+        assert!(rendered.contains("vo-job-0"));
+        assert!(rendered.contains("job-7"));
+    }
+
+    #[test]
+    fn accounting_rolls_up_per_user() {
+        let (ts, _, _) = store_with_one_job();
+        let acct = ts.accounting_by_user(UserId(3));
+        assert_eq!(acct.submitted, 1);
+        assert_eq!(acct.completed, 1);
+        assert_eq!(acct.failed, 0);
+        // CPU: dispatch (400) → execution end (4000) = 3600 s = 1 h.
+        assert!((acct.cpu_secs - 3_600.0).abs() < 1e-9);
+        assert!((acct.cpu_days() - 1.0 / 24.0).abs() < 1e-12);
+        assert_eq!(acct.bytes_moved, 3_000_000_000);
+        // Unknown users have empty accounts.
+        assert_eq!(ts.accounting_by_user(UserId(99)), UserAccount::default());
+    }
+
+    #[test]
+    fn stuck_job_detection() {
+        let mut ts = TraceStore::new();
+        let job = JobId(1);
+        ts.open(job, UserClass::Sdss, UserId(0), SimTime::from_secs(0));
+        ts.record(job, SimTime::from_secs(10), TraceEvent::Queued);
+        // 2 hours later, still queued: stuck by a 1-hour idle criterion.
+        let stuck = ts.stuck_jobs(SimTime::from_hours(2), SimDuration::from_hours(1));
+        assert_eq!(stuck.len(), 1);
+        assert_eq!(stuck[0].execution_id, job);
+        // Terminal jobs are never "stuck".
+        ts.record(
+            job,
+            SimTime::from_hours(2),
+            TraceEvent::Failed(FailureCause::Misconfiguration),
+        );
+        assert!(ts
+            .stuck_jobs(SimTime::from_hours(50), SimDuration::from_hours(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn failed_jobs_account_cpu_burned() {
+        let mut ts = TraceStore::new();
+        let job = JobId(2);
+        ts.open(job, UserClass::Uscms, UserId(9), SimTime::from_secs(0));
+        ts.record(job, SimTime::from_secs(5), TraceEvent::Queued);
+        ts.record(
+            job,
+            SimTime::from_secs(10),
+            TraceEvent::Dispatched { node: NodeId(0) },
+        );
+        ts.record(job, SimTime::from_secs(7_210), TraceEvent::ExecutionEnded);
+        ts.record(
+            job,
+            SimTime::from_secs(7_210),
+            TraceEvent::Failed(FailureCause::NodeRollover),
+        );
+        let acct = ts.accounting_by_user(UserId(9));
+        assert_eq!(acct.failed, 1);
+        assert!((acct.cpu_secs - 7_200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_users_orders_by_cpu() {
+        let mut ts = TraceStore::new();
+        for (jid, user, secs) in [(1u32, 1u32, 100u64), (2, 2, 5_000), (3, 3, 1_000)] {
+            let job = JobId(jid);
+            ts.open(job, UserClass::Ivdgl, UserId(user), SimTime::from_secs(0));
+            ts.record(
+                job,
+                SimTime::from_secs(1),
+                TraceEvent::Dispatched { node: NodeId(0) },
+            );
+            ts.record(
+                job,
+                SimTime::from_secs(1 + secs),
+                TraceEvent::ExecutionEnded,
+            );
+            ts.record(job, SimTime::from_secs(1 + secs), TraceEvent::Completed);
+        }
+        let top = ts.top_users(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, UserId(2));
+        assert_eq!(top[1].0, UserId(3));
+    }
+
+    #[test]
+    fn events_recorded_against_unknown_jobs_are_ignored() {
+        let mut ts = TraceStore::new();
+        ts.record(JobId(42), SimTime::EPOCH, TraceEvent::Queued);
+        assert!(ts.is_empty());
+        assert!(ts.trace(JobId(42)).is_none());
+    }
+
+    #[test]
+    fn submit_ids_are_unique_and_monotone() {
+        let mut ts = TraceStore::new();
+        let a = ts.open(JobId(1), UserClass::Btev, UserId(0), SimTime::EPOCH);
+        let b = ts.open(JobId(2), UserClass::Btev, UserId(0), SimTime::EPOCH);
+        assert_eq!(a, SubmitSideId(0));
+        assert_eq!(b, SubmitSideId(1));
+        assert_eq!(ts.len(), 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! The discrete-event core: a time-ordered event queue with a total,
+//! reproducible order.
+//!
+//! The queue is generic over the event payload `E`; the top-level crate
+//! (`grid3-core`) defines the concrete event enum and drives the loop.
+//! Ties in time are broken by insertion sequence number, so two events
+//! scheduled for the same instant always fire in the order they were
+//! scheduled — the property that makes whole-grid runs bit-reproducible.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event plus its firing time and tie-breaking sequence number.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotonic insertion index; earlier-scheduled fires first on ties.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event queue and simulation clock.
+///
+/// Invariants (checked by the property tests below):
+/// * events pop in non-decreasing time order;
+/// * equal-time events pop in scheduling order;
+/// * the clock never moves backwards.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    now: SimTime,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at the epoch.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::EPOCH,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling into the past is
+    /// a logic error and panics (it would silently corrupt causality).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedule `event` after a delay from the current clock.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let se = self.heap.pop()?;
+        debug_assert!(se.time >= self.now, "heap produced out-of-order event");
+        self.now = se.time;
+        self.processed += 1;
+        Some((se.time, se.event))
+    }
+
+    /// Peek at the next firing time without advancing.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|se| se.time)
+    }
+
+    /// Drop every pending event (used when a scenario ends early).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(30), "c");
+        q.schedule_at(SimTime::from_secs(10), "a");
+        q.schedule_at(SimTime::from_secs(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), ());
+        q.schedule_in(SimDuration::from_secs(3), ());
+        assert_eq!(q.now(), SimTime::EPOCH);
+        let (t1, _) = q.pop().unwrap();
+        assert_eq!(t1, SimTime::from_secs(3));
+        assert_eq!(q.now(), SimTime::from_secs(3));
+        let (t2, _) = q.pop().unwrap();
+        assert_eq!(t2, SimTime::from_secs(10));
+        assert!(q.pop().is_none());
+        assert_eq!(q.processed(), 2);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(100), "first");
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(50), "second");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(150)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule_at(SimTime::from_secs(i), i);
+        }
+        assert_eq!(q.len(), 5);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Any mixture of schedules pops in non-decreasing time order,
+            /// with FIFO order at equal times.
+            #[test]
+            fn total_order_holds(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.schedule_at(SimTime::from_secs(*t), i);
+                }
+                let mut last_time = SimTime::EPOCH;
+                let mut last_seq_at_time: Option<usize> = None;
+                while let Some((t, idx)) = q.pop() {
+                    prop_assert!(t >= last_time);
+                    if t == last_time {
+                        if let Some(prev) = last_seq_at_time {
+                            prop_assert!(idx > prev, "FIFO violated at equal times");
+                        }
+                    } else {
+                        last_time = t;
+                    }
+                    last_seq_at_time = Some(idx);
+                }
+            }
+
+            /// Interleaving schedule_in with pops never violates causality.
+            #[test]
+            fn interleaved_scheduling_is_causal(
+                delays in proptest::collection::vec(0u64..100, 1..100)
+            ) {
+                let mut q = EventQueue::new();
+                q.schedule_at(SimTime::EPOCH, 0usize);
+                let mut i = 0;
+                let mut last = SimTime::EPOCH;
+                while let Some((t, _)) = q.pop() {
+                    prop_assert!(t >= last);
+                    last = t;
+                    if i < delays.len() {
+                        q.schedule_in(SimDuration::from_secs(delays[i]), i + 1);
+                        i += 1;
+                    }
+                }
+                prop_assert_eq!(q.processed(), delays.len() as u64 + 1);
+            }
+        }
+    }
+}

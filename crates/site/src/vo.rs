@@ -1,0 +1,194 @@
+//! Virtual organizations and user classes.
+//!
+//! §5 of the paper: "Six VOs (U.S. ATLAS, U.S. CMS, SDSS, LIGO, BTeV,
+//! iVDGL) were configured." Table 1 additionally reports a seventh *user
+//! classification*, the Condor "Exerciser" backfill demonstrator, which we
+//! keep distinct for reporting while mapping it to the iVDGL VO for
+//! accounting (it was provided by the Condor group as a grid-wide service).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the six Grid3 virtual organizations (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Vo {
+    /// U.S. ATLAS — LHC Monte Carlo simulation and reconstruction (§4.1).
+    Usatlas,
+    /// U.S. CMS — GEANT detector simulation for the 2004 data challenge (§4.2).
+    Uscms,
+    /// Sloan Digital Sky Survey — cluster finding and pixel analysis (§4.3).
+    Sdss,
+    /// LIGO — blind pulsar search over the S2 data set (§4.4).
+    Ligo,
+    /// BTeV — CP-violation Monte Carlo at the Fermilab collider (§4.5).
+    Btev,
+    /// iVDGL — umbrella VO for SnB, GADU and infrastructure work (§4.6).
+    Ivdgl,
+}
+
+impl Vo {
+    /// All six VOs in the order the paper lists them in Table 1.
+    pub const ALL: [Vo; 6] = [
+        Vo::Btev,
+        Vo::Ivdgl,
+        Vo::Ligo,
+        Vo::Sdss,
+        Vo::Usatlas,
+        Vo::Uscms,
+    ];
+
+    /// The VO's display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vo::Btev => "BTEV",
+            Vo::Ivdgl => "iVDGL",
+            Vo::Ligo => "LIGO",
+            Vo::Sdss => "SDSS",
+            Vo::Usatlas => "USATLAS",
+            Vo::Uscms => "USCMS",
+        }
+    }
+
+    /// The Unix group account name created for the VO at every site (§5.3
+    /// naming convention).
+    pub fn group_account(self) -> &'static str {
+        match self {
+            Vo::Btev => "btev",
+            Vo::Ivdgl => "ivdgl",
+            Vo::Ligo => "ligo",
+            Vo::Sdss => "sdss",
+            Vo::Usatlas => "usatlas",
+            Vo::Uscms => "uscms",
+        }
+    }
+
+    /// Stable small index for dense per-VO arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Vo::Btev => 0,
+            Vo::Ivdgl => 1,
+            Vo::Ligo => 2,
+            Vo::Sdss => 3,
+            Vo::Usatlas => 4,
+            Vo::Uscms => 5,
+        }
+    }
+}
+
+impl fmt::Display for Vo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The seven application/user classes of Table 1: the six VO application
+/// demonstrators plus the Condor exerciser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum UserClass {
+    /// BTeV Monte Carlo.
+    Btev,
+    /// iVDGL applications (SnB crystallography, GADU genome analysis).
+    Ivdgl,
+    /// LIGO pulsar search.
+    Ligo,
+    /// SDSS cluster finding / pixel analysis.
+    Sdss,
+    /// U.S. ATLAS GCE production + DIAL analysis.
+    Usatlas,
+    /// U.S. CMS MOP production (CMSIM + OSCAR).
+    Uscms,
+    /// Condor exerciser backfill (15-minute cadence, low priority).
+    Exerciser,
+}
+
+impl UserClass {
+    /// All seven classes in Table 1 column order.
+    pub const ALL: [UserClass; 7] = [
+        UserClass::Btev,
+        UserClass::Ivdgl,
+        UserClass::Ligo,
+        UserClass::Sdss,
+        UserClass::Usatlas,
+        UserClass::Uscms,
+        UserClass::Exerciser,
+    ];
+
+    /// The accounting VO this class runs under.
+    pub fn vo(self) -> Vo {
+        match self {
+            UserClass::Btev => Vo::Btev,
+            UserClass::Ivdgl => Vo::Ivdgl,
+            UserClass::Ligo => Vo::Ligo,
+            UserClass::Sdss => Vo::Sdss,
+            UserClass::Usatlas => Vo::Usatlas,
+            UserClass::Uscms => Vo::Uscms,
+            UserClass::Exerciser => Vo::Ivdgl,
+        }
+    }
+
+    /// Table 1 column header.
+    pub fn name(self) -> &'static str {
+        match self {
+            UserClass::Exerciser => "Exerciser",
+            other => other.vo().name(),
+        }
+    }
+
+    /// Stable dense index (Table 1 column order).
+    pub fn index(self) -> usize {
+        match self {
+            UserClass::Btev => 0,
+            UserClass::Ivdgl => 1,
+            UserClass::Ligo => 2,
+            UserClass::Sdss => 3,
+            UserClass::Usatlas => 4,
+            UserClass::Uscms => 5,
+            UserClass::Exerciser => 6,
+        }
+    }
+}
+
+impl fmt::Display for UserClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_vos_and_seven_classes() {
+        assert_eq!(Vo::ALL.len(), 6);
+        assert_eq!(UserClass::ALL.len(), 7);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 6];
+        for vo in Vo::ALL {
+            assert!(!seen[vo.index()]);
+            seen[vo.index()] = true;
+        }
+        let mut seen = [false; 7];
+        for uc in UserClass::ALL {
+            assert!(!seen[uc.index()]);
+            seen[uc.index()] = true;
+        }
+    }
+
+    #[test]
+    fn exerciser_accounts_to_ivdgl() {
+        assert_eq!(UserClass::Exerciser.vo(), Vo::Ivdgl);
+        assert_eq!(UserClass::Exerciser.name(), "Exerciser");
+        assert_eq!(UserClass::Uscms.vo(), Vo::Uscms);
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        assert_eq!(Vo::Usatlas.name(), "USATLAS");
+        assert_eq!(Vo::Ivdgl.name(), "iVDGL");
+        assert_eq!(Vo::Btev.group_account(), "btev");
+    }
+}

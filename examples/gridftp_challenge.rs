@@ -1,0 +1,112 @@
+//! The data-transfer demonstrator (§4.7, §6.3): an Entrada-style periodic
+//! transfer matrix over shared site links, with NetLogger instrumentation
+//! and a mid-run site failure.
+//!
+//! The paper's result: "We met our goal of transferring 2 TB across Grid3
+//! per day, and long-running data transfers ran reliably."
+//!
+//! ```sh
+//! cargo run --release --example gridftp_challenge
+//! ```
+
+use grid3_sim::apps::demonstrators::EntradaDemo;
+use grid3_sim::middleware::gridftp::GridFtp;
+use grid3_sim::monitoring::netlogger::NetLoggerArchive;
+use grid3_sim::simkit::ids::SiteId;
+use grid3_sim::simkit::time::{SimDuration, SimTime};
+use grid3_sim::simkit::units::{Bandwidth, Bytes};
+
+fn main() {
+    // Six well-connected sites; the matrix is sized for 2 TB/day.
+    let sites: Vec<SiteId> = (0..6).map(SiteId).collect();
+    let mut fabric = GridFtp::new(sites.iter().enumerate().map(|(i, s)| {
+        (
+            *s,
+            Bandwidth::from_mbit_per_sec(if i < 2 { 622.0 } else { 155.0 }),
+        )
+    }));
+    // Size the matrix with headroom over the 2 TB goal, as Grid3 did (the
+    // achieved figure was 4 TB/day against a 2-3 TB target, §7).
+    let demo = EntradaDemo::sized_for_daily_target(
+        sites.clone(),
+        SimDuration::from_hours(1),
+        Bytes::from_tb(3),
+    );
+    println!(
+        "Matrix: {} sites, {} per pair per round, {} rounds/day → {} nominal",
+        demo.sites.len(),
+        demo.bytes_per_pair,
+        24,
+        demo.daily_volume()
+    );
+
+    // Drive one simulated day: hourly rounds; site 3's link dies at noon
+    // for two hours.
+    let mut archive = NetLoggerArchive::new();
+    let mut delivered = Bytes::ZERO;
+    let mut pending: Vec<(grid3_sim::simkit::ids::TransferId, SimTime)> = Vec::new();
+    for round in demo.round_times(SimTime::EPOCH, SimDuration::from_days(1)) {
+        // Complete transfers that finished before this round.
+        pending.retain(|(id, finish)| {
+            if *finish <= round {
+                if let Ok(outcome) = fabric.complete(*id, *finish) {
+                    delivered += outcome.delivered;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if round == SimTime::from_hours(14) {
+            fabric.set_link_up(SiteId(3), true);
+            println!("14:00 — site-3 link restored");
+        }
+        for req in demo.round() {
+            if let Ok((id, finish)) = fabric.start(req, round) {
+                pending.push((id, finish));
+            }
+        }
+        // Noon failure: the link drops five minutes into the 12:00 round,
+        // killing that round's transfers touching site 3 mid-flight.
+        if round == SimTime::from_hours(12) {
+            let at = round + SimDuration::from_mins(5);
+            let failed = fabric.fail_site(SiteId(3), at);
+            for f in &failed {
+                delivered += f.delivered;
+            }
+            pending.retain(|(id, _)| failed.iter().all(|f| f.id != *id));
+            fabric.set_link_up(SiteId(3), false);
+            println!(
+                "12:05 — site-3 link failure killed {} in-flight transfers",
+                failed.len()
+            );
+        }
+    }
+    // Drain the tail.
+    for (id, finish) in pending {
+        if let Ok(outcome) = fabric.complete(id, finish) {
+            delivered += outcome.delivered;
+        }
+    }
+    archive.ingest_all(fabric.log().iter());
+
+    let stats = archive.stats();
+    println!(
+        "\nDay total: {:.2} TB delivered ({} transfers started, {} completed, {} errored)",
+        delivered.as_tb_f64(),
+        stats.started,
+        stats.completed,
+        stats.errored
+    );
+    println!(
+        "Reliability {:.1}%  mean rate {:.1} Mbit/s  mean duration {:.0} s",
+        stats.reliability() * 100.0,
+        stats.rates_mbit.mean(),
+        stats.durations_secs.mean()
+    );
+    assert!(
+        delivered >= Bytes::from_tb(2),
+        "2 TB/day goal met even with a failure"
+    );
+    println!("Goal met: ≥2 TB moved in the day despite the outage (§6.3).");
+}

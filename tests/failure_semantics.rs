@@ -1,0 +1,126 @@
+//! Failure injection and the §8 ablations: SRM reservations vs the Grid3
+//! disk-full regime, manual vs automated installation, and the ACDC
+//! nightly rollover.
+
+use grid3_sim::core::{ScenarioConfig, Simulation};
+use grid3_sim::pacman::install::InstallPipeline;
+use grid3_sim::site::job::FailureCause;
+
+fn base() -> ScenarioConfig {
+    ScenarioConfig::sc2003()
+        .with_scale(0.02)
+        .with_seed(91)
+        .with_demo(false)
+}
+
+fn failures_of(sim: &Simulation, cause: FailureCause) -> u64 {
+    sim.acdc
+        .failure_breakdown()
+        .get(&cause)
+        .copied()
+        .unwrap_or(0)
+}
+
+#[test]
+fn srm_reservations_prevent_mid_flight_storage_deaths() {
+    // §8: "storage reservation (e.g., as provided by SRM) would have
+    // prevented various storage-related service failures." With
+    // reservations, jobs that would die at stage-out when the archive
+    // fills instead either hold protected space or are rejected cheaply
+    // at submit time.
+    // Needs enough load that archive-fill windows catch jobs mid-flight.
+    let cfg = base().with_scale(0.25).with_seed(2003);
+    let mut grid3 = Simulation::new(cfg.clone());
+    grid3.run();
+    let mut srm = Simulation::new(cfg.with_srm(true));
+    srm.run();
+    let deaths_grid3 = failures_of(&grid3, FailureCause::StageOutFailure);
+    let deaths_srm = failures_of(&srm, FailureCause::StageOutFailure);
+    assert!(
+        deaths_srm < deaths_grid3,
+        "SRM {deaths_srm} vs Grid3 {deaths_grid3} mid-flight storage deaths"
+    );
+    // And overall efficiency does not get worse.
+    assert!(srm.acdc.overall_efficiency() >= grid3.acdc.overall_efficiency() - 0.02);
+}
+
+#[test]
+fn automated_install_pipeline_raises_efficiency() {
+    // §8's first lesson: automated configuration/testing scripts.
+    let mut manual = Simulation::new(base().with_seed(92));
+    manual.run();
+    let mut automated = Simulation::new(
+        base()
+            .with_seed(92)
+            .with_pipeline(InstallPipeline::automated()),
+    );
+    automated.run();
+    let e_manual = manual.acdc.overall_efficiency();
+    let e_auto = automated.acdc.overall_efficiency();
+    assert!(
+        e_auto > e_manual,
+        "automated {e_auto:.3} should beat manual {e_manual:.3}"
+    );
+    // The gain comes from misconfiguration failures specifically.
+    assert!(
+        failures_of(&automated, FailureCause::Misconfiguration)
+            < failures_of(&manual, FailureCause::Misconfiguration)
+    );
+}
+
+#[test]
+fn acdc_rollover_kills_jobs_nightly() {
+    // §6.1: "we did not handle ACDC's nightly roll over of worker nodes
+    // gracefully, and so jobs still running had to be re-processed."
+    let mut sim = Simulation::new(base().with_seed(93));
+    sim.run();
+    let rollover = failures_of(&sim, FailureCause::NodeRollover);
+    assert!(
+        rollover > 0,
+        "the ACDC site should kill some running jobs overnight"
+    );
+}
+
+#[test]
+fn failure_mix_matches_section_6_structure() {
+    let mut sim = Simulation::new(base().with_seed(94));
+    sim.run();
+    let frac = sim.acdc.site_problem_fraction();
+    assert!(
+        (0.75..=1.0).contains(&frac),
+        "site-problem fraction {frac:.2} out of the §6.1 band"
+    );
+    // Random losses are present but "few" (§6.2).
+    let random = failures_of(&sim, FailureCause::RandomLoss);
+    let total: u64 = sim.acdc.failure_breakdown().values().sum();
+    assert!(random > 0);
+    assert!((random as f64) < 0.25 * total as f64);
+}
+
+#[test]
+fn tickets_track_incidents_and_resolve() {
+    let mut sim = Simulation::new(base().with_seed(95));
+    sim.run();
+    let tickets = sim.center.tickets.tickets();
+    assert!(!tickets.is_empty(), "incidents must raise tickets");
+    let resolved = tickets
+        .iter()
+        .filter(|t| {
+            matches!(
+                t.status,
+                grid3_sim::igoc::tickets::TicketStatus::Resolved(_)
+            )
+        })
+        .count();
+    assert!(
+        resolved * 10 >= tickets.len() * 8,
+        "most tickets resolve: {resolved}/{}",
+        tickets.len()
+    );
+    // Support load stays near the §7 target even in a failure-rich month.
+    let fte = sim.center.tickets.fte_in_window(
+        grid3_sim::simkit::time::SimTime::EPOCH,
+        sim.config().horizon(),
+    );
+    assert!(fte < 4.0, "ops load {fte:.2} FTE");
+}

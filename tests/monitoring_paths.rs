@@ -1,0 +1,139 @@
+//! The Figure 1 monitoring architecture and its §5.2 redundancy property:
+//! "similar information [is] collected by different paths … permitting
+//! crosschecks on the data collected."
+
+use grid3_sim::core::{ScenarioConfig, Simulation};
+use grid3_sim::monitoring::framework::{fig1_topology, ComponentKind};
+use grid3_sim::monitoring::monalisa::SeriesKey;
+use grid3_sim::site::vo::Vo;
+
+fn run_small() -> Simulation {
+    let mut sim = Simulation::new(
+        ScenarioConfig::sc2003()
+            .with_scale(0.01)
+            .with_seed(33)
+            .with_demo(false),
+    );
+    sim.run();
+    sim
+}
+
+#[test]
+fn fig1_has_the_paper_component_set() {
+    let (components, edges) = fig1_topology();
+    let names: Vec<&str> = components.iter().map(|c| c.name).collect();
+    for expected in [
+        "Ganglia",
+        "MDS GRIS",
+        "MonALISA",
+        "ML repository",
+        "ACDC Job DB",
+        "VO GIIS",
+        "MDViewer",
+    ] {
+        assert!(names.contains(&expected), "missing {expected}");
+    }
+    assert!(!edges.is_empty());
+}
+
+#[test]
+fn fig1_every_path_terminates_at_a_consumer() {
+    let (components, edges) = fig1_topology();
+    // Walk forward from every producer and intermediary; a dead end that
+    // is not a consumer would be collected-but-never-used data.
+    for (i, c) in components.iter().enumerate() {
+        if c.kind == ComponentKind::Consumer {
+            continue;
+        }
+        let mut stack = vec![i];
+        let mut reached_consumer = false;
+        let mut seen = vec![false; components.len()];
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            if components[n].kind == ComponentKind::Consumer {
+                reached_consumer = true;
+                break;
+            }
+            for (a, b) in &edges {
+                if *a == n {
+                    stack.push(*b);
+                }
+            }
+        }
+        assert!(reached_consumer, "{} feeds no consumer", c.name);
+    }
+}
+
+#[test]
+fn crosscheck_acdc_vs_mdviewer_job_counts() {
+    // The same job records flow to ACDC and MDViewer by separate paths;
+    // the §5.2 crosscheck must agree.
+    let sim = run_small();
+    assert_eq!(sim.acdc.total_records(), sim.viewer.jobs_seen());
+}
+
+#[test]
+fn crosscheck_acdc_cpu_days_vs_mdviewer_integration() {
+    // Two independent computations of USCMS CPU-days: ACDC sums completed
+    // job runtimes; MDViewer integrates occupancy intervals (which also
+    // counts failed jobs' burn, so it must be ≥ the ACDC figure).
+    let sim = run_small();
+    let acdc_cms: f64 = sim
+        .acdc
+        .cpu_days_by_site(grid3_sim::site::vo::UserClass::Uscms)
+        .values()
+        .sum();
+    let viewer_cms = sim.viewer.total_cpu_days(Vo::Uscms);
+    assert!(
+        viewer_cms >= acdc_cms - 1e-6,
+        "viewer {viewer_cms:.2} < acdc {acdc_cms:.2}"
+    );
+    // And they agree within the failed-job burn margin (2× is generous).
+    assert!(viewer_cms <= acdc_cms * 2.0 + 1.0);
+}
+
+#[test]
+fn ganglia_web_sees_every_online_site() {
+    let sim = run_small();
+    // 27 production sites reported by the end (surge sites may be offline
+    // at the horizon but reported earlier).
+    // SMU joins after the 30-day window, so 29 of 30 entries report.
+    assert!(sim.center.ganglia_web.summaries().len() >= 27);
+    let reported = sim.center.ganglia_web.total_cpus();
+    assert!(reported >= sim.topology().steady_cpus());
+    assert!(reported <= sim.topology().peak_cpus());
+}
+
+#[test]
+fn monalisa_repository_holds_per_site_series() {
+    let sim = run_small();
+    assert!(sim.center.monalisa.series_count() > 100);
+    // Gatekeeper-load series exist for the Tier-1s.
+    for site in [0u32, 1] {
+        assert!(
+            sim.center
+                .monalisa
+                .series(&SeriesKey::GkLoad(grid3_sim::simkit::ids::SiteId(site)))
+                .is_some(),
+            "site {site} missing gatekeeper-load series"
+        );
+    }
+}
+
+#[test]
+fn status_catalog_probed_everyone() {
+    let sim = run_small();
+    let entries = sim.center.status_catalog.entries();
+    assert!(entries.len() >= 27);
+    for (id, e) in entries {
+        // Sites that never came online inside the window (SMU joins in
+        // December) are registered but unprobed.
+        if sim.topology().specs[id.index()].online_from_day >= sim.config().days {
+            continue;
+        }
+        assert!(e.probes > 0, "{id} never probed");
+    }
+}
