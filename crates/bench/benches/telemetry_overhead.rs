@@ -1,0 +1,162 @@
+//! Telemetry overhead measurements (custom harness).
+//!
+//! Answers the question the instrumentation layer must answer before it
+//! can ride in every subsystem: what does it cost when it is *off*, and
+//! what does it cost when it is *on*? Writes the machine-readable
+//! `BENCH_telemetry.json` at the repo root:
+//!
+//! * whole-simulation event throughput with telemetry disabled/enabled,
+//! * the event-loop micro cost of `pop` vs `pop_profiled` with a
+//!   disabled handle (the "<2 % when off" budget),
+//! * span and counter micro costs on an enabled handle.
+
+use grid3_core::engine::Simulation;
+use grid3_core::scenario::ScenarioConfig;
+use grid3_simkit::engine::{EventLabel, EventQueue};
+use grid3_simkit::telemetry::Telemetry;
+use grid3_simkit::time::SimTime;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A minimal labelled event for the queue micro-benchmarks.
+#[derive(Debug, Clone, Copy)]
+struct Tick;
+
+impl EventLabel for Tick {
+    fn label(&self) -> &'static str {
+        "tick"
+    }
+}
+
+/// Best-of-`reps` wall-clock for one whole-scenario run; returns
+/// `(events_processed, best_seconds)`.
+fn scenario_events_per_sec(telemetry: bool, reps: usize) -> (u64, f64) {
+    let cfg = ScenarioConfig::sc2003()
+        .with_scale(0.05)
+        .with_seed(2003)
+        .with_demo(false)
+        .with_telemetry(telemetry);
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..reps {
+        let mut sim = Simulation::new(cfg.clone());
+        let t0 = Instant::now();
+        sim.run();
+        let dt = t0.elapsed().as_secs_f64();
+        events = sim.events_processed();
+        if dt < best {
+            best = dt;
+        }
+        black_box(&sim.telemetry);
+    }
+    (events, best)
+}
+
+/// ns/op over `n` queue push+pop cycles, using the given pop strategy.
+fn queue_ns_per_pop(n: u64, profiled: Option<&Telemetry>) -> f64 {
+    let mut q: EventQueue<Tick> = EventQueue::new();
+    for i in 0..n {
+        q.schedule_at(SimTime::from_micros(i), Tick);
+    }
+    let t0 = Instant::now();
+    match profiled {
+        None => {
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+        }
+        Some(tele) => {
+            while let Some(ev) = q.pop_profiled(tele) {
+                black_box(ev);
+            }
+        }
+    }
+    t0.elapsed().as_nanos() as f64 / n as f64
+}
+
+fn main() {
+    // Respect `cargo bench -- <filter>`-style invocations: run only when
+    // unfiltered or when the filter mentions this bench.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let named = args
+        .iter()
+        .any(|a| "telemetry_overhead".contains(a.as_str()));
+    if !args.is_empty() && !args.iter().all(|a| a.starts_with("--")) && !named {
+        return;
+    }
+
+    eprintln!("[telemetry_overhead] whole-scenario throughput (3 reps each)…");
+    let (events, secs_off) = scenario_events_per_sec(false, 3);
+    let (_, secs_on) = scenario_events_per_sec(true, 3);
+    let eps_off = events as f64 / secs_off;
+    let eps_on = events as f64 / secs_on;
+    let enabled_overhead_pct = (secs_on / secs_off - 1.0) * 100.0;
+
+    eprintln!("[telemetry_overhead] event-loop micro cost…");
+    const N: u64 = 2_000_000;
+    let disabled = Telemetry::disabled();
+    let enabled = Telemetry::enabled();
+    let pop_ns = queue_ns_per_pop(N, None);
+    let pop_profiled_off_ns = queue_ns_per_pop(N, Some(&disabled));
+    let pop_profiled_on_ns = queue_ns_per_pop(N, Some(&enabled));
+    let disabled_pop_overhead_pct = (pop_profiled_off_ns / pop_ns - 1.0) * 100.0;
+
+    // Span and counter micro costs on an enabled handle.
+    let t0 = Instant::now();
+    const SPANS: u64 = 500_000;
+    for i in 0..SPANS {
+        let s = enabled.span_enter(SimTime::from_micros(i), "bench", "op", None);
+        enabled.span_exit(SimTime::from_micros(i + 1), s);
+    }
+    let span_pair_ns = t0.elapsed().as_nanos() as f64 / SPANS as f64;
+    let t0 = Instant::now();
+    const ADDS: u64 = 1_000_000;
+    for _ in 0..ADDS {
+        enabled.counter_add("bench", "ops", "", 1);
+    }
+    let counter_add_ns = t0.elapsed().as_nanos() as f64 / ADDS as f64;
+
+    println!("telemetry overhead (sc2003, scale 0.05, {events} events):");
+    println!("  events/sec disabled: {eps_off:>12.0}");
+    println!("  events/sec enabled:  {eps_on:>12.0}  ({enabled_overhead_pct:+.2}% wall)");
+    println!("  pop: {pop_ns:.1} ns  pop_profiled(off): {pop_profiled_off_ns:.1} ns  ({disabled_pop_overhead_pct:+.2}%)");
+    println!("  pop_profiled(on): {pop_profiled_on_ns:.1} ns");
+    println!("  span enter+exit: {span_pair_ns:.1} ns  counter_add: {counter_add_ns:.1} ns");
+    if disabled_pop_overhead_pct >= 2.0 {
+        eprintln!(
+            "  WARNING: disabled-handle event-loop overhead {disabled_pop_overhead_pct:.2}% exceeds the 2% budget"
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scenario\": \"sc2003 scale=0.05 seed=2003 no-demo\",\n",
+            "  \"events_processed\": {},\n",
+            "  \"events_per_sec_disabled\": {:.0},\n",
+            "  \"events_per_sec_enabled\": {:.0},\n",
+            "  \"enabled_overhead_pct\": {:.3},\n",
+            "  \"queue_pop_ns\": {:.2},\n",
+            "  \"queue_pop_profiled_disabled_ns\": {:.2},\n",
+            "  \"queue_pop_profiled_enabled_ns\": {:.2},\n",
+            "  \"disabled_pop_overhead_pct\": {:.3},\n",
+            "  \"disabled_overhead_budget_pct\": 2.0,\n",
+            "  \"span_enter_exit_ns\": {:.2},\n",
+            "  \"counter_add_ns\": {:.2}\n",
+            "}}\n"
+        ),
+        events,
+        eps_off,
+        eps_on,
+        enabled_overhead_pct,
+        pop_ns,
+        pop_profiled_off_ns,
+        pop_profiled_on_ns,
+        disabled_pop_overhead_pct,
+        span_pair_ns,
+        counter_add_ns
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    std::fs::write(path, json).expect("write BENCH_telemetry.json");
+    eprintln!("[telemetry_overhead] wrote BENCH_telemetry.json");
+}

@@ -235,6 +235,47 @@ fn main() {
         println!();
     }
 
+    if want("telemetry") {
+        println!("Telemetry — grid-wide instrumentation over the SC2003 window");
+        eprintln!("[figures] running instrumented sc2003 scenario at full scale…");
+        let mut sim = grid3_core::engine::Simulation::new(sc2003_config(SEED).with_telemetry(true));
+        sim.run();
+        let tele = &sim.telemetry;
+        println!("  event dispatches: {}", tele.dispatch_total());
+        println!("  hottest event types:");
+        for (label, n) in tele.hottest_events(10) {
+            println!("    {label:<20} {n:>10}");
+        }
+        println!(
+            "  spans recorded: {} (open at horizon: {}, dropped: {})",
+            tele.spans().len(),
+            tele.open_span_count(),
+            tele.dropped_span_count()
+        );
+        println!("  registry counters:");
+        for c in tele.counters().iter().take(12) {
+            println!("    {}/{}[{}] = {}", c.subsystem, c.name, c.label, c.value);
+        }
+        // Machine-readable snapshot: full registry plus the hot-event
+        // ranking, mirroring what the monitoring bus producer publishes.
+        let hottest: Vec<String> = tele
+            .hottest_events(10)
+            .iter()
+            .map(|(l, n)| format!("{{\"label\":\"{l}\",\"count\":{n}}}"))
+            .collect();
+        let json = format!(
+            "{{\"registry\":{},\"hottest_events\":[{}],\"dispatch_total\":{},\"spans\":{},\"dropped_spans\":{}}}",
+            tele.registry_json(),
+            hottest.join(","),
+            tele.dispatch_total(),
+            tele.spans().len(),
+            tele.dropped_span_count()
+        );
+        std::fs::write("results/telemetry.json", json).ok();
+        std::fs::write("results/trace_sc2003.json", tele.chrome_trace()).ok();
+        println!("  wrote results/telemetry.json and results/trace_sc2003.json\n");
+    }
+
     eprintln!("[figures] done; JSON artifacts in results/");
 }
 

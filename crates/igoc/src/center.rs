@@ -13,6 +13,7 @@ use grid3_middleware::mds::{GiisIndex, GlueRecord, MdsDirectory};
 use grid3_monitoring::catalog::SiteStatusCatalog;
 use grid3_monitoring::ganglia::GangliaWeb;
 use grid3_monitoring::monalisa::MonAlisaRepository;
+use grid3_monitoring::netlogger::NetLoggerArchive;
 use grid3_pacman::install::{InstallPipeline, InstallReport};
 use grid3_pacman::package::{grid3_package_cache, PackageCache};
 use grid3_simkit::ids::{SiteId, TicketId};
@@ -40,6 +41,8 @@ pub struct OperationsCenter {
     pub monalisa: MonAlisaRepository,
     /// Central Ganglia web frontend.
     pub ganglia_web: GangliaWeb,
+    /// NetLogger archive correlating the GridFTP event stream (§4.7).
+    pub netlogger: NetLoggerArchive,
     /// Trouble tickets.
     pub tickets: TicketSystem,
     /// The acceptable-use policy.
@@ -69,6 +72,7 @@ impl OperationsCenter {
             status_catalog: SiteStatusCatalog::new(SimDuration::from_mins(30)),
             monalisa: MonAlisaRepository::new(SimDuration::from_mins(5), 4_096),
             ganglia_web: GangliaWeb::new(),
+            netlogger: NetLoggerArchive::new(),
             tickets: TicketSystem::new(),
             aup: AcceptableUsePolicy::grid3(),
         }

@@ -27,6 +27,7 @@
 //! counts among the dominant site problems.
 
 use grid3_simkit::ids::{JobId, SiteId};
+use grid3_simkit::telemetry::Telemetry;
 use grid3_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -76,6 +77,7 @@ pub struct Gatekeeper {
     peak_load: f64,
     refused: u64,
     accepted: u64,
+    tele: Telemetry,
 }
 
 impl Gatekeeper {
@@ -96,7 +98,19 @@ impl Gatekeeper {
             peak_load: 0.0,
             refused: 0,
             accepted: 0,
+            tele: Telemetry::disabled(),
         }
+    }
+
+    /// Attach the grid-wide instrumentation handle. Counters are labelled
+    /// `site<N>` so per-site and grid-wide views both fall out of the
+    /// registry.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
+    }
+
+    fn site_label(&self) -> String {
+        format!("site{}", self.site.0)
     }
 
     /// Jobs currently managed.
@@ -120,18 +134,32 @@ impl Gatekeeper {
         now: SimTime,
     ) -> Result<(), GramError> {
         if !self.up {
+            self.tele
+                .counter_add("gram", "refused", self.site_label(), 1);
             return Err(GramError::ServiceDown);
         }
         let load = self.load_one_min(now);
         self.peak_load = self.peak_load.max(load);
         if load > self.overload_threshold {
             self.refused += 1;
+            self.tele
+                .counter_add("gram", "refused", self.site_label(), 1);
             return Err(GramError::Overloaded { load });
         }
         self.submissions.push_back(now);
         self.managed.insert(job, staging_factor);
         self.managed_weight += staging_factor;
         self.accepted += 1;
+        self.tele
+            .counter_add("gram", "accepted", self.site_label(), 1);
+        static LOAD_BOUNDS: [f64; 6] = [25.0, 50.0, 100.0, 225.0, 450.0, 900.0];
+        self.tele.observe(
+            "gram",
+            "load_at_accept",
+            self.site_label(),
+            load,
+            &LOAD_BOUNDS,
+        );
         Ok(())
     }
 

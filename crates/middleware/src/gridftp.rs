@@ -15,6 +15,7 @@
 //! keeps every transfer a single future event.
 
 use grid3_simkit::ids::{SiteId, TransferId, TransferIdGen};
+use grid3_simkit::telemetry::Telemetry;
 use grid3_simkit::time::{SimDuration, SimTime};
 use grid3_simkit::units::{Bandwidth, Bytes};
 use grid3_site::vo::Vo;
@@ -23,6 +24,11 @@ use std::collections::HashMap;
 
 /// Per-transfer setup cost (GSI handshake, control channel).
 pub const SETUP_LATENCY: SimDuration = SimDuration::from_secs(2);
+
+/// Registry label for a VO (the paper's Figure 5 groups volume by VO).
+fn vo_label(vo: Vo) -> &'static str {
+    vo.name()
+}
 
 /// A transfer to be performed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -120,6 +126,7 @@ pub struct GridFtp {
     ids: TransferIdGen,
     log: Vec<NetLogEvent>,
     log_enabled: bool,
+    tele: Telemetry,
 }
 
 impl GridFtp {
@@ -137,7 +144,14 @@ impl GridFtp {
             ids: TransferIdGen::new(),
             log: Vec::new(),
             log_enabled: true,
+            tele: Telemetry::disabled(),
         }
+    }
+
+    /// Attach the grid-wide instrumentation handle. Transfer counters are
+    /// labelled by VO, matching the paper's Figure 5 (volume by VO).
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
     }
 
     /// Disable NetLogger capture (long scenario runs that don't need it).
@@ -179,6 +193,8 @@ impl GridFtp {
             }
         }
         let id = self.ids.next_id();
+        self.tele
+            .counter_add("gridftp", "started", vo_label(request.vo), 1);
         *self.streams.entry(request.src).or_insert(0) += 1;
         if request.dst != request.src {
             *self.streams.entry(request.dst).or_insert(0) += 1;
@@ -218,6 +234,10 @@ impl GridFtp {
             .remove(&id)
             .ok_or(TransferError::UnknownTransfer)?;
         self.release_streams(&t.request);
+        let vo = vo_label(t.request.vo);
+        self.tele.counter_add("gridftp", "completed", vo, 1);
+        self.tele
+            .counter_add("gridftp", "bytes_completed", vo, t.request.bytes.as_u64());
         if self.log_enabled {
             self.log.push(NetLogEvent::End {
                 id,
@@ -256,6 +276,8 @@ impl GridFtp {
                 ((t.rate.as_bytes_per_sec() * elapsed) as u64).min(t.request.bytes.as_u64()),
             );
             let error = TransferError::KilledBySiteFailure(site);
+            self.tele
+                .counter_add("gridftp", "failed", vo_label(t.request.vo), 1);
             if self.log_enabled {
                 self.log.push(NetLogEvent::Error { id, at: now, error });
             }

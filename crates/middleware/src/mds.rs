@@ -14,6 +14,7 @@
 //! so stale sites drop out of brokering.
 
 use grid3_simkit::ids::SiteId;
+use grid3_simkit::telemetry::Telemetry;
 use grid3_simkit::time::{SimDuration, SimTime};
 use grid3_simkit::units::{Bandwidth, Bytes};
 use grid3_site::cluster::Site;
@@ -144,6 +145,7 @@ impl GiisIndex {
 pub struct MdsDirectory {
     records: HashMap<SiteId, GlueRecord>,
     ttl: SimDuration,
+    tele: Telemetry,
 }
 
 impl MdsDirectory {
@@ -156,7 +158,13 @@ impl MdsDirectory {
         MdsDirectory {
             records: HashMap::new(),
             ttl,
+            tele: Telemetry::disabled(),
         }
+    }
+
+    /// Attach the grid-wide instrumentation handle.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
     }
 
     /// A directory with the default TTL.
@@ -166,6 +174,8 @@ impl MdsDirectory {
 
     /// Publish (upsert) a site's record.
     pub fn publish(&mut self, record: GlueRecord) {
+        self.tele
+            .counter_add("mds", "published", format!("site{}", record.site.0), 1);
         self.records.insert(record.site, record);
     }
 
@@ -201,6 +211,8 @@ impl MdsDirectory {
 
     /// Fresh records admitting `vo`, the broker's candidate list.
     pub fn candidates_for(&self, vo: Vo, now: SimTime) -> Vec<&GlueRecord> {
+        self.tele
+            .counter_add("mds", "queries", format!("{vo:?}").to_lowercase(), 1);
         self.fresh_records(now)
             .into_iter()
             .filter(|r| r.admits_vo(vo))

@@ -10,6 +10,7 @@
 //! job" (§4.4).
 
 use grid3_simkit::ids::{FileId, SiteId};
+use grid3_simkit::telemetry::Telemetry;
 use grid3_simkit::units::Bytes;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -41,6 +42,7 @@ pub struct ReplicaLocationService {
     /// lfn → size attribute (RLS metadata; planners budget transfers
     /// with it).
     sizes: HashMap<FileId, Bytes>,
+    tele: Telemetry,
 }
 
 impl ReplicaLocationService {
@@ -49,9 +51,16 @@ impl ReplicaLocationService {
         Self::default()
     }
 
+    /// Attach the grid-wide instrumentation handle.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
+    }
+
     /// Register a replica of `lfn` at `site`. The PFN is derived from the
     /// site and LFN, as Grid3 conventions did. Idempotent per (lfn, site).
     pub fn register(&mut self, lfn: FileId, site: SiteId, size: Bytes) {
+        self.tele
+            .counter_add("rls", "registered", format!("site{}", site.0), 1);
         let pfn = format!("gsiftp://{site}/grid3/data/{lfn}");
         self.lrcs.entry(site).or_default().insert(lfn, pfn);
         self.rli.entry(lfn).or_default().insert(site);
@@ -79,6 +88,7 @@ impl ReplicaLocationService {
 
     /// Sites holding a replica of `lfn`, in site-id order (RLI query).
     pub fn locate(&self, lfn: FileId) -> Result<Vec<SiteId>, RlsError> {
+        self.tele.counter_add("rls", "lookups", "", 1);
         self.rli
             .get(&lfn)
             .filter(|s| !s.is_empty())

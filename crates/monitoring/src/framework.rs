@@ -2,6 +2,7 @@
 //! topology as checkable data.
 
 use grid3_simkit::ids::SiteId;
+use grid3_simkit::telemetry::Telemetry;
 use grid3_simkit::time::SimTime;
 use grid3_simkit::units::Bytes;
 use grid3_site::job::JobRecord;
@@ -82,6 +83,17 @@ pub enum Metric {
         /// Bytes delivered.
         bytes: Bytes,
     },
+    /// One counter reading from the grid-wide telemetry registry.
+    TelemetryCounter {
+        /// Producing subsystem (`"gram"`, `"gridftp"`, …).
+        subsystem: String,
+        /// Metric name within the subsystem.
+        name: String,
+        /// Site/VO label (empty = grid-wide).
+        label: String,
+        /// Counter value at snapshot time.
+        value: u64,
+    },
 }
 
 /// A timestamped metric.
@@ -151,6 +163,52 @@ impl MonitoringBus {
     }
 }
 
+/// Producer adapting the telemetry registry to the monitoring bus: each
+/// snapshot turns every counter into a [`Metric::TelemetryCounter`]
+/// event, so the Figure 1 dataflow carries the instrumentation feed
+/// alongside Ganglia/MDS/scheduler metrics and the §5.2 cross-check can
+/// be performed downstream.
+#[derive(Debug, Clone)]
+pub struct TelemetryProducer {
+    tele: Telemetry,
+}
+
+impl TelemetryProducer {
+    /// Wrap the shared instrumentation handle.
+    pub fn new(tele: Telemetry) -> Self {
+        TelemetryProducer { tele }
+    }
+
+    /// Snapshot the registry at `now` as bus events, in the registry's
+    /// deterministic `(subsystem, name, label)` order.
+    pub fn snapshot(&self, now: SimTime) -> Vec<MetricEvent> {
+        self.tele
+            .counters()
+            .into_iter()
+            .map(|c| MetricEvent {
+                at: now,
+                metric: Metric::TelemetryCounter {
+                    subsystem: c.subsystem.to_string(),
+                    name: c.name.to_string(),
+                    label: c.label,
+                    value: c.value,
+                },
+            })
+            .collect()
+    }
+
+    /// Snapshot the registry and publish every reading to `bus`.
+    /// Returns the number of events published.
+    pub fn publish_to(&self, bus: &mut MonitoringBus, now: SimTime) -> usize {
+        let events = self.snapshot(now);
+        let n = events.len();
+        for e in events {
+            bus.publish(e);
+        }
+        n
+    }
+}
+
 /// Role of a component in Figure 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ComponentKind {
@@ -174,7 +232,9 @@ pub struct Component {
 /// The Figure 1 monitoring architecture as a directed graph:
 /// `(components, edges)` with edges as index pairs `(from, to)`.
 ///
-/// Producers: Ganglia, MDS GRIS, job-scheduler agents, SNMP.
+/// Producers: Ganglia, MDS GRIS, job-scheduler agents, SNMP, plus the
+/// simulator's own telemetry registry (feeding MonALISA like the other
+/// instrumentation sources).
 /// Intermediaries: MonALISA, VO GIIS, ACDC Job DB, ML repository, GIIS.
 /// Consumers: web frontends, server DB reports, MDViewer.
 pub fn fig1_topology() -> (Vec<Component>, Vec<(usize, usize)>) {
@@ -232,6 +292,10 @@ pub fn fig1_topology() -> (Vec<Component>, Vec<(usize, usize)>) {
             name: "Web outputs",
             kind: Consumer,
         }, // 12
+        Component {
+            name: "Telemetry registry",
+            kind: Producer,
+        }, // 13
     ];
     let edges = vec![
         (0, 4),  // Ganglia → MonALISA agents read ganglia metrics (§5.2)
@@ -247,6 +311,7 @@ pub fn fig1_topology() -> (Vec<Component>, Vec<(usize, usize)>) {
         (7, 10), // ACDC DB → aggregated queries / reports
         (7, 11), // ACDC DB → MDViewer plots
         (6, 12), // GIIS → web views
+        (13, 4), // telemetry registry → MonALISA (instrumentation feed)
     ];
     (components, edges)
 }
@@ -309,7 +374,7 @@ mod tests {
             .iter()
             .filter(|c| c.kind == ComponentKind::Consumer)
             .count();
-        assert_eq!(producers, 4);
+        assert_eq!(producers, 5);
         assert_eq!(intermediaries, 5);
         assert_eq!(consumers, 4);
         // Every edge references valid nodes.
@@ -372,5 +437,27 @@ mod tests {
         let (_, edges) = fig1_topology();
         assert!(edges.contains(&(2, 4)), "scheduler → MonALISA");
         assert!(edges.contains(&(2, 7)), "scheduler → ACDC");
+    }
+
+    #[test]
+    fn telemetry_producer_feeds_the_bus() {
+        let tele = Telemetry::enabled();
+        tele.counter_add("gram", "accepted", "site0", 7);
+        tele.counter_add("gridftp", "bytes_completed", "iVDGL", 1024);
+        let producer = TelemetryProducer::new(tele);
+        let mut bus = MonitoringBus::new();
+        bus.register(Box::new(Counter {
+            name: "MonALISA".into(),
+            seen: 0,
+        }));
+        let n = producer.publish_to(&mut bus, SimTime::from_secs(60));
+        assert_eq!(n, 2);
+        assert_eq!(bus.published_count(), 2);
+        let events = producer.snapshot(SimTime::from_secs(60));
+        assert!(matches!(
+            &events[0].metric,
+            Metric::TelemetryCounter { subsystem, name, label, value: 7 }
+                if subsystem == "gram" && name == "accepted" && label == "site0"
+        ));
     }
 }

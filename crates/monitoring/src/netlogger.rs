@@ -29,6 +29,9 @@ pub struct TransferStats {
     pub rates_mbit: Summary,
     /// Durations (seconds) of completed transfers.
     pub durations_secs: Summary,
+    /// Bytes moved by completed transfers (from the correlated Start
+    /// event's payload size — End events carry only the rate).
+    pub bytes_completed: Bytes,
 }
 
 impl TransferStats {
@@ -66,11 +69,12 @@ impl NetLoggerArchive {
             }
             NetLogEvent::End { id, at, rate } => {
                 self.stats.completed += 1;
-                if let Some((start, _bytes)) = self.open.remove(id) {
+                if let Some((start, bytes)) = self.open.remove(id) {
                     self.stats
                         .durations_secs
                         .record(at.since(start).as_secs_f64());
                     self.stats.rates_mbit.record(rate.as_mbit_per_sec());
+                    self.stats.bytes_completed += bytes;
                 }
             }
             NetLogEvent::Error { id, .. } => {
@@ -147,6 +151,8 @@ mod tests {
         assert!((s.reliability() - 0.8).abs() < 1e-12);
         assert_eq!(s.durations_secs.count(), 4);
         assert!(s.rates_mbit.mean() > 0.0);
+        // Only the four completed transfers contribute bytes.
+        assert_eq!(s.bytes_completed, Bytes::from_gb(4));
     }
 
     #[test]

@@ -7,9 +7,20 @@
 //! scheduled for the same instant always fire in the order they were
 //! scheduled — the property that makes whole-grid runs bit-reproducible.
 
+use crate::telemetry::Telemetry;
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Events that can name themselves for the event-loop profiler.
+///
+/// Labels must come from a fixed set of `&'static str`s (one per enum
+/// variant, typically) so the profiler can aggregate dispatch counts
+/// without allocating per event.
+pub trait EventLabel {
+    /// A stable, human-readable name for this event's type.
+    fn label(&self) -> &'static str;
+}
 
 /// An event plus its firing time and tie-breaking sequence number.
 #[derive(Debug, Clone)]
@@ -81,6 +92,18 @@ impl<E> EventQueue<E> {
     }
 
     /// Number of events waiting.
+    ///
+    /// ```
+    /// use grid3_simkit::engine::EventQueue;
+    /// use grid3_simkit::time::SimTime;
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.schedule_at(SimTime::from_secs(10), "tick");
+    /// q.schedule_at(SimTime::from_secs(20), "tock");
+    /// assert_eq!(q.len(), 2);
+    /// q.pop();
+    /// assert_eq!(q.len(), 1);
+    /// ```
     pub fn len(&self) -> usize {
         self.heap.len()
     }
@@ -128,6 +151,20 @@ impl<E> EventQueue<E> {
     }
 
     /// Peek at the next firing time without advancing.
+    ///
+    /// ```
+    /// use grid3_simkit::engine::EventQueue;
+    /// use grid3_simkit::time::SimTime;
+    ///
+    /// let mut q = EventQueue::new();
+    /// assert_eq!(q.peek_time(), None);
+    /// q.schedule_at(SimTime::from_secs(30), "later");
+    /// q.schedule_at(SimTime::from_secs(5), "sooner");
+    /// assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    /// // Peeking does not advance the clock or consume the event.
+    /// assert_eq!(q.now(), SimTime::EPOCH);
+    /// assert_eq!(q.len(), 2);
+    /// ```
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|se| se.time)
     }
@@ -135,6 +172,18 @@ impl<E> EventQueue<E> {
     /// Drop every pending event (used when a scenario ends early).
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+}
+
+impl<E: EventLabel> EventQueue<E> {
+    /// [`EventQueue::pop`], plus one profiler sample: records the event's
+    /// type label and the post-pop queue depth into `tele`. With a
+    /// disabled [`Telemetry`] handle the extra cost is one branch, so the
+    /// main loop can call this unconditionally.
+    pub fn pop_profiled(&mut self, tele: &Telemetry) -> Option<(SimTime, E)> {
+        let (time, event) = self.pop()?;
+        tele.record_dispatch(time, event.label(), self.heap.len());
+        Some((time, event))
     }
 }
 
@@ -206,6 +255,32 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    impl EventLabel for &'static str {
+        fn label(&self) -> &'static str {
+            self
+        }
+    }
+
+    #[test]
+    fn pop_profiled_records_labels_and_depth() {
+        let tele = Telemetry::enabled();
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(1), "submit");
+        q.schedule_at(SimTime::from_secs(2), "submit");
+        q.schedule_at(SimTime::from_secs(3), "monitor_tick");
+        while q.pop_profiled(&tele).is_some() {}
+        assert_eq!(tele.dispatch_total(), 3);
+        assert_eq!(
+            tele.dispatch_counts(),
+            vec![("monitor_tick", 1), ("submit", 2)]
+        );
+        // Depth is sampled after the pop: 2, then 1, then 0.
+        let profile = tele.depth_profile();
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].1.pops, 3);
+        assert_eq!(profile[0].1.max_depth, 2);
     }
 
     mod properties {

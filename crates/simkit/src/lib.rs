@@ -26,6 +26,9 @@
 //!   paper's figures (integrated and differential CPU usage, transfer
 //!   volume, monthly job counts).
 //! * [`stats`] — small streaming-statistics helpers.
+//! * [`telemetry`] — the grid-wide instrumentation layer: typed metrics
+//!   registry, span tracing with Chrome `trace_event` export, and
+//!   event-loop profiling hooks.
 //!
 //! Everything here is simulation-pure: no wall-clock access, no I/O.
 
@@ -37,10 +40,12 @@ pub mod ids;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod units;
 
-pub use engine::{EventQueue, ScheduledEvent};
+pub use engine::{EventLabel, EventQueue, ScheduledEvent};
 pub use rng::{derive_seed, SimRng};
+pub use telemetry::{SpanId, SpanRecord, Telemetry};
 pub use time::{CalendarDate, SimDuration, SimTime};
 pub use units::{Bandwidth, Bytes, CpuSeconds};

@@ -1,0 +1,771 @@
+//! Grid-wide instrumentation: metrics registry, span tracing, and
+//! event-loop profiling.
+//!
+//! The paper's §8 lessons ask for "API for accessing troubleshooting and
+//! accounting information … without the necessity of parsing log files".
+//! [`crate::time`]-stamped spans and a typed metrics registry are the
+//! simulation-side answer: every middleware subsystem increments counters
+//! and opens spans against one shared [`Telemetry`] handle, and the
+//! registry can be cross-checked against the independently-collected
+//! monitoring paths (ACDC records, the NetLogger archive) — the §5.2
+//! redundancy property, applied to the simulator's own internals.
+//!
+//! Design constraints:
+//!
+//! * **Zero-cost when disabled.** [`Telemetry::disabled`] holds no
+//!   allocation; every recording call is a single `Option` check.
+//! * **Deterministic.** All registry maps are `BTreeMap`s, so iteration
+//!   (and hence every export) is ordered independently of hash seeds.
+//! * **Simulation-pure.** Timestamps are [`SimTime`]; wall-clock
+//!   events/sec is computed by the bench harness, not here.
+//! * **Bounded.** Completed spans live in a ring buffer
+//!   ([`DEFAULT_SPAN_CAPACITY`] by default); the oldest records are
+//!   dropped, and the drop count is reported, never hidden.
+//!
+//! The handle is a shared `Rc<RefCell<…>>`, so recording works through
+//! `&self` — subsystems can instrument read-only query paths. It
+//! serializes as `null` and deserializes as disabled, so structs that
+//! derive serde can embed it without custom attributes.
+
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Default bound on retained completed spans.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+/// Width of one queue-depth bin of the event-loop profile.
+pub const DEFAULT_DEPTH_BIN: SimDuration = SimDuration::from_hours(1);
+
+/// A registry key: `(subsystem, name)` plus a free-form label
+/// (site, VO, …). Empty label means "grid-wide".
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Producing subsystem (`"gram"`, `"gridftp"`, …).
+    pub subsystem: &'static str,
+    /// Metric name within the subsystem.
+    pub name: &'static str,
+    /// Site/VO label, `""` for unlabelled.
+    pub label: String,
+}
+
+/// A fixed-bucket histogram: `counts[i]` holds observations
+/// `<= bounds[i]`, with one implicit overflow bucket at the end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `len() == bounds.len() + 1` (overflow last).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    bounds: &'static [f64],
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+}
+
+/// Opaque handle to an open span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(u64);
+
+/// A completed span: one timed operation inside a subsystem, optionally
+/// linked to the `TraceStore` job id it served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Monotonic span id (allocation order).
+    pub id: u64,
+    /// Subsystem that opened the span.
+    pub subsystem: &'static str,
+    /// Operation name.
+    pub op: &'static str,
+    /// Linked job id (`JobId.0`), if the span served a job.
+    pub job: Option<u64>,
+    /// Span start.
+    pub begin: SimTime,
+    /// Span end.
+    pub end: SimTime,
+    /// Whether the operation ended in error.
+    pub error: bool,
+}
+
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    subsystem: &'static str,
+    op: &'static str,
+    job: Option<u64>,
+    begin: SimTime,
+}
+
+/// One bin of the event-loop queue-depth profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DepthBin {
+    /// Events dispatched inside the bin.
+    pub pops: u64,
+    /// Maximum post-pop queue depth seen inside the bin.
+    pub max_depth: u64,
+}
+
+/// One counter reading in a registry snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterReading {
+    /// Producing subsystem.
+    pub subsystem: &'static str,
+    /// Metric name.
+    pub name: &'static str,
+    /// Site/VO label (`""` for unlabelled).
+    pub label: String,
+    /// Current value.
+    pub value: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+    open_spans: BTreeMap<u64, OpenSpan>,
+    spans: VecDeque<SpanRecord>,
+    span_capacity: usize,
+    dropped_spans: u64,
+    next_span: u64,
+    dispatch: BTreeMap<&'static str, u64>,
+    depth_bins: BTreeMap<u64, DepthBin>,
+    depth_bin_width: SimDuration,
+}
+
+/// The shared instrumentation handle. Cloning is cheap and every clone
+/// records into the same registry; the disabled handle records nothing.
+#[derive(Clone, Default)]
+pub struct Telemetry(Option<Rc<RefCell<Inner>>>);
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(inner) => write!(
+                f,
+                "Telemetry(enabled, {} counters, {} spans)",
+                inner.borrow().counters.len(),
+                inner.borrow().spans.len()
+            ),
+            None => write!(f, "Telemetry(disabled)"),
+        }
+    }
+}
+
+// The handle is runtime plumbing, not state: it serializes as `null` and
+// deserializes as disabled, so serde-derived structs can embed it.
+impl serde::Serialize for Telemetry {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for Telemetry {
+    fn from_value(_v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Telemetry::disabled())
+    }
+}
+
+impl Telemetry {
+    /// A no-op handle: every recording call is a single branch.
+    pub fn disabled() -> Self {
+        Telemetry(None)
+    }
+
+    /// An active handle with the default span ring capacity.
+    pub fn enabled() -> Self {
+        Self::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// An active handle retaining at most `capacity` completed spans.
+    pub fn with_span_capacity(capacity: usize) -> Self {
+        Telemetry(Some(Rc::new(RefCell::new(Inner {
+            span_capacity: capacity.max(1),
+            depth_bin_width: DEFAULT_DEPTH_BIN,
+            ..Inner::default()
+        }))))
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    // ----- counters / gauges / histograms ----------------------------
+
+    /// Add `delta` to the counter `(subsystem, name, label)`.
+    pub fn counter_add(
+        &self,
+        subsystem: &'static str,
+        name: &'static str,
+        label: impl Into<String>,
+        delta: u64,
+    ) {
+        if let Some(inner) = &self.0 {
+            let key = MetricKey {
+                subsystem,
+                name,
+                label: label.into(),
+            };
+            *inner.borrow_mut().counters.entry(key).or_insert(0) += delta;
+        }
+    }
+
+    /// Current value of one labelled counter (0 if never written).
+    pub fn counter(&self, subsystem: &'static str, name: &'static str, label: &str) -> u64 {
+        self.0
+            .as_ref()
+            .and_then(|inner| {
+                inner
+                    .borrow()
+                    .counters
+                    .iter()
+                    .find(|(k, _)| k.subsystem == subsystem && k.name == name && k.label == label)
+                    .map(|(_, v)| *v)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Sum of a counter over every label.
+    pub fn counter_total(&self, subsystem: &'static str, name: &'static str) -> u64 {
+        self.0
+            .as_ref()
+            .map(|inner| {
+                inner
+                    .borrow()
+                    .counters
+                    .iter()
+                    .filter(|(k, _)| k.subsystem == subsystem && k.name == name)
+                    .map(|(_, v)| *v)
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Set the gauge `(subsystem, name, label)`.
+    pub fn gauge_set(
+        &self,
+        subsystem: &'static str,
+        name: &'static str,
+        label: impl Into<String>,
+        value: f64,
+    ) {
+        if let Some(inner) = &self.0 {
+            let key = MetricKey {
+                subsystem,
+                name,
+                label: label.into(),
+            };
+            inner.borrow_mut().gauges.insert(key, value);
+        }
+    }
+
+    /// Observe `value` into the fixed-bucket histogram
+    /// `(subsystem, name, label)`. `bounds` fixes the buckets on first
+    /// use; later calls must pass the same slice.
+    pub fn observe(
+        &self,
+        subsystem: &'static str,
+        name: &'static str,
+        label: impl Into<String>,
+        value: f64,
+        bounds: &'static [f64],
+    ) {
+        if let Some(inner) = &self.0 {
+            let key = MetricKey {
+                subsystem,
+                name,
+                label: label.into(),
+            };
+            inner
+                .borrow_mut()
+                .histograms
+                .entry(key)
+                .or_insert_with(|| Histogram::new(bounds))
+                .observe(value);
+        }
+    }
+
+    /// Snapshot of one histogram.
+    pub fn histogram(
+        &self,
+        subsystem: &'static str,
+        name: &'static str,
+        label: &str,
+    ) -> Option<HistogramSnapshot> {
+        self.0.as_ref().and_then(|inner| {
+            inner
+                .borrow()
+                .histograms
+                .iter()
+                .find(|(k, _)| k.subsystem == subsystem && k.name == name && k.label == label)
+                .map(|(_, h)| h.snapshot())
+        })
+    }
+
+    /// All counters, in deterministic `(subsystem, name, label)` order.
+    pub fn counters(&self) -> Vec<CounterReading> {
+        self.0
+            .as_ref()
+            .map(|inner| {
+                inner
+                    .borrow()
+                    .counters
+                    .iter()
+                    .map(|(k, v)| CounterReading {
+                        subsystem: k.subsystem,
+                        name: k.name,
+                        label: k.label.clone(),
+                        value: *v,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    // ----- spans -----------------------------------------------------
+
+    /// Open a span at `now`. Returns a handle for [`Telemetry::span_exit`];
+    /// the disabled handle returns an inert id.
+    pub fn span_enter(
+        &self,
+        now: SimTime,
+        subsystem: &'static str,
+        op: &'static str,
+        job: Option<u64>,
+    ) -> SpanId {
+        let Some(inner) = &self.0 else {
+            return SpanId(u64::MAX);
+        };
+        let mut inner = inner.borrow_mut();
+        let id = inner.next_span;
+        inner.next_span += 1;
+        inner.open_spans.insert(
+            id,
+            OpenSpan {
+                subsystem,
+                op,
+                job,
+                begin: now,
+            },
+        );
+        SpanId(id)
+    }
+
+    /// Close a span successfully at `now`.
+    pub fn span_exit(&self, now: SimTime, id: SpanId) {
+        self.close_span(now, id, false);
+    }
+
+    /// Close a span at `now`, marking it errored.
+    pub fn span_error(&self, now: SimTime, id: SpanId) {
+        self.close_span(now, id, true);
+    }
+
+    fn close_span(&self, now: SimTime, id: SpanId, error: bool) {
+        let Some(inner) = &self.0 else { return };
+        let mut inner = inner.borrow_mut();
+        let Some(open) = inner.open_spans.remove(&id.0) else {
+            return;
+        };
+        let record = SpanRecord {
+            id: id.0,
+            subsystem: open.subsystem,
+            op: open.op,
+            job: open.job,
+            begin: open.begin,
+            end: now,
+            error,
+        };
+        if inner.spans.len() >= inner.span_capacity {
+            inner.spans.pop_front();
+            inner.dropped_spans += 1;
+        }
+        inner.spans.push_back(record);
+    }
+
+    /// Completed spans currently retained (oldest first).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.0
+            .as_ref()
+            .map(|inner| inner.borrow().spans.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Spans opened but not yet closed.
+    pub fn open_span_count(&self) -> usize {
+        self.0
+            .as_ref()
+            .map(|inner| inner.borrow().open_spans.len())
+            .unwrap_or(0)
+    }
+
+    /// Spans evicted from the ring because it was full.
+    pub fn dropped_span_count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|inner| inner.borrow().dropped_spans)
+            .unwrap_or(0)
+    }
+
+    // ----- event-loop profiling --------------------------------------
+
+    /// Record one event dispatch: per-event-type counts plus the
+    /// sim-time-binned queue-depth profile. Called by
+    /// [`EventQueue::pop_profiled`](crate::engine::EventQueue::pop_profiled).
+    pub fn record_dispatch(&self, now: SimTime, label: &'static str, queue_depth: usize) {
+        let Some(inner) = &self.0 else { return };
+        let mut inner = inner.borrow_mut();
+        *inner.dispatch.entry(label).or_insert(0) += 1;
+        let width = inner.depth_bin_width.as_micros().max(1);
+        let bin = inner.depth_bins.entry(now.as_micros() / width).or_default();
+        bin.pops += 1;
+        bin.max_depth = bin.max_depth.max(queue_depth as u64);
+    }
+
+    /// Dispatch counts per event type, deterministically ordered by label.
+    pub fn dispatch_counts(&self) -> Vec<(&'static str, u64)> {
+        self.0
+            .as_ref()
+            .map(|inner| {
+                inner
+                    .borrow()
+                    .dispatch
+                    .iter()
+                    .map(|(k, v)| (*k, *v))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The `n` hottest event types, by dispatch count descending (ties
+    /// break alphabetically, so the order is deterministic).
+    pub fn hottest_events(&self, n: usize) -> Vec<(&'static str, u64)> {
+        let mut all = self.dispatch_counts();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// The queue-depth profile as `(bin_start, bin)` pairs.
+    pub fn depth_profile(&self) -> Vec<(SimTime, DepthBin)> {
+        self.0
+            .as_ref()
+            .map(|inner| {
+                let inner = inner.borrow();
+                let width = inner.depth_bin_width.as_micros().max(1);
+                inner
+                    .depth_bins
+                    .iter()
+                    .map(|(idx, bin)| (SimTime::from_micros(idx * width), *bin))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Total events recorded through the profiler.
+    pub fn dispatch_total(&self) -> u64 {
+        self.dispatch_counts().iter().map(|(_, c)| c).sum()
+    }
+
+    // ----- exports ---------------------------------------------------
+
+    /// Completed spans as JSON lines, one object per line, oldest first.
+    pub fn spans_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in self.spans() {
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"subsystem\":\"{}\",\"op\":\"{}\",",
+                s.id, s.subsystem, s.op
+            );
+            match s.job {
+                Some(j) => {
+                    let _ = write!(out, "\"job\":{j},");
+                }
+                None => out.push_str("\"job\":null,"),
+            }
+            let _ = writeln!(
+                out,
+                "\"begin_us\":{},\"end_us\":{},\"error\":{}}}",
+                s.begin.as_micros(),
+                s.end.as_micros(),
+                s.error
+            );
+        }
+        out
+    }
+
+    /// Completed spans in Chrome `trace_event` format (complete `"X"`
+    /// events, microsecond timestamps) — loadable in `chrome://tracing`
+    /// or Perfetto. Each subsystem maps to its own tid.
+    pub fn chrome_trace(&self) -> String {
+        let spans = self.spans();
+        let mut tids: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for s in &spans {
+            let next = tids.len() + 1;
+            tids.entry(s.subsystem).or_insert(next);
+        }
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{{",
+                s.op,
+                s.subsystem,
+                s.begin.as_micros(),
+                s.end.since(s.begin).as_micros(),
+                tids[s.subsystem]
+            );
+            if let Some(j) = s.job {
+                let _ = write!(out, "\"job\":{j},");
+            }
+            let _ = write!(out, "\"error\":{}}}}}", s.error);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The whole registry (counters, gauges, histograms, dispatch
+    /// profile) as a JSON object string, deterministically ordered.
+    pub fn registry_json(&self) -> String {
+        let mut out = String::from("{\"counters\":[");
+        for (i, c) in self.counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"subsystem\":\"{}\",\"name\":\"{}\",\"label\":\"{}\",\"value\":{}}}",
+                c.subsystem, c.name, c.label, c.value
+            );
+        }
+        out.push_str("],\"gauges\":[");
+        if let Some(inner) = &self.0 {
+            for (i, (k, v)) in inner.borrow().gauges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"subsystem\":\"{}\",\"name\":\"{}\",\"label\":\"{}\",\"value\":{}}}",
+                    k.subsystem,
+                    k.name,
+                    k.label,
+                    if v.is_finite() { *v } else { 0.0 }
+                );
+            }
+        }
+        out.push_str("],\"histograms\":[");
+        if let Some(inner) = &self.0 {
+            for (i, (k, h)) in inner.borrow().histograms.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let snap = h.snapshot();
+                let _ = write!(
+                    out,
+                    "{{\"subsystem\":\"{}\",\"name\":\"{}\",\"label\":\"{}\",\
+                     \"count\":{},\"sum\":{},\"bounds\":{:?},\"bucket_counts\":{:?}}}",
+                    k.subsystem, k.name, k.label, snap.count, snap.sum, snap.bounds, snap.counts
+                );
+            }
+        }
+        out.push_str("],\"dispatch\":[");
+        for (i, (label, count)) in self.dispatch_counts().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"event\":\"{label}\",\"count\":{count}}}");
+        }
+        let _ = write!(
+            out,
+            "],\"spans_retained\":{},\"spans_dropped\":{}}}",
+            self.spans().len(),
+            self.dropped_span_count()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        t.counter_add("gram", "accepted", "site0", 1);
+        let id = t.span_enter(SimTime::EPOCH, "gram", "submit", Some(7));
+        t.span_exit(SimTime::from_secs(1), id);
+        t.record_dispatch(SimTime::EPOCH, "submit", 3);
+        assert!(!t.is_enabled());
+        assert_eq!(t.counter_total("gram", "accepted"), 0);
+        assert!(t.spans().is_empty());
+        assert!(t.dispatch_counts().is_empty());
+    }
+
+    #[test]
+    fn counters_iterate_in_key_order() {
+        let t = Telemetry::enabled();
+        t.counter_add("rls", "lookups", "", 2);
+        t.counter_add("gram", "accepted", "site1", 1);
+        t.counter_add("gram", "accepted", "site0", 3);
+        let keys: Vec<(&str, &str, String)> = t
+            .counters()
+            .into_iter()
+            .map(|c| (c.subsystem, c.name, c.label))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("gram", "accepted", "site0".to_string()),
+                ("gram", "accepted", "site1".to_string()),
+                ("rls", "lookups", String::new()),
+            ]
+        );
+        assert_eq!(t.counter_total("gram", "accepted"), 4);
+        assert_eq!(t.counter("gram", "accepted", "site0"), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        static BOUNDS: [f64; 3] = [1.0, 10.0, 100.0];
+        let t = Telemetry::enabled();
+        for v in [0.5, 5.0, 50.0, 500.0, 0.9] {
+            t.observe("gram", "load", "", v, &BOUNDS);
+        }
+        let h = t.histogram("gram", "load", "").unwrap();
+        assert_eq!(h.counts, vec![2, 1, 1, 1]);
+        assert_eq!(h.count, 5);
+        assert!((h.sum - 556.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_ring_is_bounded_and_reports_drops() {
+        let t = Telemetry::with_span_capacity(2);
+        for i in 0..4u64 {
+            let id = t.span_enter(SimTime::from_secs(i), "engine", "job", Some(i));
+            t.span_exit(SimTime::from_secs(i + 1), id);
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(t.dropped_span_count(), 2);
+        // Oldest survivors dropped first: ids 2 and 3 remain.
+        assert_eq!(spans[0].job, Some(2));
+        assert_eq!(spans[1].job, Some(3));
+    }
+
+    #[test]
+    fn span_error_marks_record() {
+        let t = Telemetry::enabled();
+        let ok = t.span_enter(SimTime::EPOCH, "gridftp", "stage_in", Some(1));
+        t.span_exit(SimTime::from_secs(5), ok);
+        let bad = t.span_enter(SimTime::from_secs(5), "gridftp", "stage_out", Some(1));
+        t.span_error(SimTime::from_secs(9), bad);
+        let spans = t.spans();
+        assert!(!spans[0].error);
+        assert!(spans[1].error);
+        assert_eq!(
+            spans[1].end.since(spans[1].begin),
+            SimDuration::from_secs(4)
+        );
+        assert_eq!(t.open_span_count(), 0);
+    }
+
+    #[test]
+    fn dispatch_profile_bins_and_hottest() {
+        let t = Telemetry::enabled();
+        for i in 0..10 {
+            t.record_dispatch(SimTime::from_mins(i * 30), "try_dispatch", i as usize);
+        }
+        t.record_dispatch(SimTime::from_hours(3), "monitor_tick", 1);
+        assert_eq!(t.dispatch_total(), 11);
+        let hottest = t.hottest_events(1);
+        assert_eq!(hottest, vec![("try_dispatch", 10)]);
+        let profile = t.depth_profile();
+        // 30-minute cadence over 5 hours → bins 0..=4 (plus the tick at 3 h).
+        assert_eq!(profile.len(), 5);
+        assert_eq!(profile[0].1.pops, 2);
+        assert_eq!(profile[0].1.max_depth, 1);
+    }
+
+    #[test]
+    fn exports_are_wellformed() {
+        let t = Telemetry::enabled();
+        t.counter_add("gram", "accepted", "site0", 2);
+        let a = t.span_enter(SimTime::EPOCH, "gram", "job", Some(41));
+        t.span_exit(SimTime::from_secs(2), a);
+        let b = t.span_enter(SimTime::from_secs(1), "engine", "job", None);
+        t.span_error(SimTime::from_secs(3), b);
+        t.record_dispatch(SimTime::EPOCH, "submit", 1);
+
+        let jsonl = t.spans_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"job\":41"));
+        assert!(jsonl.contains("\"job\":null"));
+
+        let chrome = t.chrome_trace();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("\"dur\":2000000"));
+
+        let reg = t.registry_json();
+        assert!(reg.contains("\"counters\""));
+        assert!(reg.contains("\"spans_retained\":2"));
+    }
+
+    #[test]
+    fn serde_embeds_as_null() {
+        use serde::{Deserialize, Serialize};
+        let t = Telemetry::enabled();
+        t.counter_add("x", "y", "", 1);
+        assert_eq!(t.to_value(), serde::Value::Null);
+        let back = Telemetry::from_value(&serde::Value::Null).unwrap();
+        assert!(!back.is_enabled());
+    }
+}

@@ -14,6 +14,7 @@
 
 use crate::vo::Vo;
 use grid3_simkit::ids::JobId;
+use grid3_simkit::telemetry::Telemetry;
 use grid3_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -66,6 +67,8 @@ pub struct BatchScheduler {
     long_q: VecDeque<QueuedJob>,
     /// Max fraction of total slots long jobs may occupy (LSF only).
     long_cap_fraction: f64,
+    tele: Telemetry,
+    tele_label: String,
 }
 
 impl BatchScheduler {
@@ -80,7 +83,16 @@ impl BatchScheduler {
             short_q: VecDeque::new(),
             long_q: VecDeque::new(),
             long_cap_fraction: 0.5,
+            tele: Telemetry::disabled(),
+            tele_label: String::new(),
         }
+    }
+
+    /// Attach the grid-wide instrumentation handle; `label` (typically
+    /// `site<N>`) tags this scheduler's counters in the registry.
+    pub fn set_telemetry(&mut self, tele: Telemetry, label: impl Into<String>) {
+        self.tele = tele;
+        self.tele_label = label.into();
     }
 
     /// Set per-VO fair-share weights (Condor kind only; ignored otherwise).
@@ -117,6 +129,8 @@ impl BatchScheduler {
 
     /// Add a job to the queue.
     pub fn enqueue(&mut self, job: QueuedJob) {
+        self.tele
+            .counter_add("scheduler", "enqueued", self.tele_label.clone(), 1);
         match self.kind {
             SchedulerKind::OpenPbs => self.fifo.push_back(job),
             SchedulerKind::CondorFairShare => self.per_vo[job.vo.index()].push_back(job),
@@ -132,6 +146,15 @@ impl BatchScheduler {
 
     /// Pick the next job to dispatch, or `None` if nothing is eligible.
     pub fn dequeue(&mut self, ctx: DispatchCtx) -> Option<QueuedJob> {
+        let picked = self.dequeue_inner(ctx);
+        if picked.is_some() {
+            self.tele
+                .counter_add("scheduler", "dispatched", self.tele_label.clone(), 1);
+        }
+        picked
+    }
+
+    fn dequeue_inner(&mut self, ctx: DispatchCtx) -> Option<QueuedJob> {
         match self.kind {
             SchedulerKind::OpenPbs => self.fifo.pop_front(),
             SchedulerKind::CondorFairShare => {

@@ -7,6 +7,7 @@
 //! and declare the DAG failed only when a node exhausts its retries.
 
 use crate::dag::{Dag, NodeId};
+use grid3_simkit::telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Lifecycle of one DAG node under DAGMan.
@@ -59,6 +60,7 @@ pub struct DagManager<T> {
     done: usize,
     failed: usize,
     total_retries: u64,
+    tele: Telemetry,
 }
 
 impl<T> DagManager<T> {
@@ -88,7 +90,13 @@ impl<T> DagManager<T> {
             done: 0,
             failed: 0,
             total_retries: 0,
+            tele: Telemetry::disabled(),
         }
+    }
+
+    /// Attach the grid-wide instrumentation handle.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
     }
 
     /// The managed DAG.
@@ -126,6 +134,7 @@ impl<T> DagManager<T> {
         );
         self.states[node.index()] = NodeState::Active;
         self.active += 1;
+        self.tele.counter_add("dagman", "submitted", "", 1);
     }
 
     /// Mark an Active node done; returns children that became Ready.
@@ -138,6 +147,7 @@ impl<T> DagManager<T> {
         self.states[node.index()] = NodeState::Done;
         self.active -= 1;
         self.done += 1;
+        self.tele.counter_add("dagman", "done", "", 1);
         let mut released = Vec::new();
         for &c in self.dag.children(node) {
             self.unfinished_parents[c.index()] -= 1;
@@ -163,12 +173,14 @@ impl<T> DagManager<T> {
             self.retries_left[node.index()] -= 1;
             self.total_retries += 1;
             self.states[node.index()] = NodeState::Ready;
+            self.tele.counter_add("dagman", "retried", "", 1);
             FailureAction::Retry {
                 remaining: self.retries_left[node.index()],
             }
         } else {
             self.states[node.index()] = NodeState::Failed;
             self.failed += 1;
+            self.tele.counter_add("dagman", "failed_permanent", "", 1);
             FailureAction::Permanent
         }
     }

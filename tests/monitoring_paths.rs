@@ -18,6 +18,18 @@ fn run_small() -> Simulation {
     sim
 }
 
+fn run_small_instrumented() -> Simulation {
+    let mut sim = Simulation::new(
+        ScenarioConfig::sc2003()
+            .with_scale(0.01)
+            .with_seed(33)
+            .with_demo(false)
+            .with_telemetry(true),
+    );
+    sim.run();
+    sim
+}
+
 #[test]
 fn fig1_has_the_paper_component_set() {
     let (components, edges) = fig1_topology();
@@ -93,6 +105,37 @@ fn crosscheck_acdc_cpu_days_vs_mdviewer_integration() {
     );
     // And they agree within the failed-job burn margin (2× is generous).
     assert!(viewer_cms <= acdc_cms * 2.0 + 1.0);
+}
+
+#[test]
+fn crosscheck_gram_counter_vs_acdc_records() {
+    // §5.2 redundancy, extended to the instrumentation layer: the
+    // gatekeeper-accepted counter and the ACDC record database count the
+    // same population by independent paths. Every ACDC record is an
+    // unplaced, refused or terminal accepted job; accepted jobs still in
+    // flight at the horizon have a counter increment but no record yet.
+    let sim = run_small_instrumented();
+    let accepted = sim.telemetry.counter_total("gram", "accepted");
+    let refused = sim.telemetry.counter_total("gram", "refused");
+    assert!(accepted > 0, "no accepted jobs counted");
+    let terminal_accepted = sim.acdc.total_records() - refused - sim.unplaced_jobs;
+    assert_eq!(accepted, terminal_accepted + sim.active_jobs() as u64);
+}
+
+#[test]
+fn crosscheck_gridftp_bytes_vs_netlogger() {
+    // The bytes-transferred counter (incremented at each successful
+    // `complete`) against the NetLogger archive's correlated Start/End
+    // totals, collected via the §4.7 event stream.
+    let sim = run_small_instrumented();
+    let counted = sim.telemetry.counter_total("gridftp", "bytes_completed");
+    assert!(counted > 0, "no transfer bytes counted");
+    let stats = sim.center.netlogger.stats();
+    assert_eq!(counted, stats.bytes_completed.as_u64());
+    assert_eq!(
+        sim.telemetry.counter_total("gridftp", "completed"),
+        stats.completed
+    );
 }
 
 #[test]

@@ -159,6 +159,97 @@ fn terminal_traces_match_record_outcomes() {
 }
 
 #[test]
+fn empty_store_answers_every_query_harmlessly() {
+    use grid3_sim::monitoring::trace::TraceStore;
+    use grid3_sim::simkit::time::{SimDuration, SimTime};
+    let store = TraceStore::new();
+    assert!(store.is_empty());
+    assert!(store
+        .stuck_jobs(SimTime::from_days(30), SimDuration::from_days(3))
+        .is_empty());
+    // Unknown users get a zeroed account, not a panic or an error.
+    let acct = store.accounting_by_user(UserId(42));
+    assert_eq!(acct.submitted, 0);
+    assert_eq!(acct.completed, 0);
+    assert_eq!(acct.failed, 0);
+    assert_eq!(acct.cpu_secs, 0.0);
+    assert!(store.top_users(10).is_empty());
+    assert!(store.mean_queue_wait().is_none());
+}
+
+#[test]
+fn submitted_only_job_is_stuck_but_unaccounted() {
+    use grid3_sim::monitoring::trace::TraceStore;
+    use grid3_sim::simkit::time::{SimDuration, SimTime};
+    use grid3_sim::site::vo::UserClass;
+    // A job that never progressed past submission: visible to the stuck
+    // query once idle long enough, but with no CPU or outcome accounted.
+    let mut store = TraceStore::new();
+    store.open(JobId(0), UserClass::Usatlas, UserId(7), SimTime::EPOCH);
+    // Not yet idle long enough.
+    assert!(store
+        .stuck_jobs(SimTime::from_hours(1), SimDuration::from_days(3))
+        .is_empty());
+    // Idle past the threshold: exactly this job.
+    let stuck = store.stuck_jobs(SimTime::from_days(4), SimDuration::from_days(3));
+    assert_eq!(stuck.len(), 1);
+    assert_eq!(stuck[0].execution_id, JobId(0));
+    assert!(!stuck[0].is_terminal());
+    let acct = store.accounting_by_user(UserId(7));
+    assert_eq!(acct.submitted, 1);
+    assert_eq!(acct.completed + acct.failed, 0);
+    assert_eq!(acct.cpu_secs, 0.0);
+    // A boundary case: idle exactly equal to the threshold is not stuck
+    // (the query is strictly "older than").
+    assert!(store
+        .stuck_jobs(SimTime::from_days(3), SimDuration::from_days(3))
+        .is_empty());
+}
+
+#[test]
+fn accounting_aggregates_jobs_sharing_a_user() {
+    use grid3_sim::monitoring::trace::TraceStore;
+    use grid3_sim::simkit::time::SimTime;
+    use grid3_sim::site::vo::UserClass;
+    // Two jobs under one user: one completes after an hour of CPU, one
+    // fails before dispatch. The rollup must merge, not overwrite.
+    let mut store = TraceStore::new();
+    let user = UserId(3);
+    store.open(JobId(10), UserClass::Uscms, user, SimTime::EPOCH);
+    store.open(JobId(11), UserClass::Uscms, user, SimTime::from_mins(5));
+    store.record(
+        JobId(10),
+        SimTime::from_mins(10),
+        TraceEvent::Dispatched {
+            node: grid3_sim::simkit::ids::NodeId(0),
+        },
+    );
+    store.record(
+        JobId(10),
+        SimTime::from_mins(70),
+        TraceEvent::ExecutionEnded,
+    );
+    store.record(JobId(10), SimTime::from_mins(71), TraceEvent::Completed);
+    store.record(
+        JobId(11),
+        SimTime::from_mins(20),
+        TraceEvent::Failed(grid3_sim::site::job::FailureCause::GatekeeperOverload),
+    );
+    let acct = store.accounting_by_user(user);
+    assert_eq!(acct.submitted, 2);
+    assert_eq!(acct.completed, 1);
+    assert_eq!(acct.failed, 1);
+    assert!((acct.cpu_secs - 3600.0).abs() < 1e-9);
+    // Both traces remain individually addressable.
+    assert!(store.find_by_execution_id(JobId(10)).unwrap().is_terminal());
+    assert!(store.find_by_execution_id(JobId(11)).unwrap().is_terminal());
+    // The shared user appears once in the heavy-hitter list.
+    let top = store.top_users(10);
+    assert_eq!(top.len(), 1);
+    assert_eq!(top[0].0, user);
+}
+
+#[test]
 fn no_stuck_jobs_slip_through_unnoticed() {
     let sim = run_small(306);
     // At the horizon, "stuck" jobs (no event for 3 days) are exactly a

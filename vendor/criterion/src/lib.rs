@@ -1,0 +1,226 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the macro/struct surface the workspace's benches compile
+//! against (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher`, `BenchmarkId`, `Throughput`) backed by a
+//! plain wall-clock sampler: each benchmark warms up once, then times
+//! `sample_size` batches and reports the per-iteration mean and min to
+//! stdout. No statistical analysis, plots, or baselines — the `figures`
+//! binary and `BENCH_*.json` files own the persisted numbers.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export of the standard black box, matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the closure under test; drives the timing loop.
+pub struct Bencher {
+    samples: u64,
+    /// Mean wall-clock nanoseconds per iteration over all samples.
+    pub mean_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, recording per-iteration statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup iteration outside the measurement.
+        black_box(routine());
+        let mut total_ns = 0.0f64;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let ns = start.elapsed().as_nanos() as f64;
+            total_ns += ns;
+            min_ns = min_ns.min(ns);
+        }
+        self.mean_ns = total_ns / self.samples as f64;
+        self.min_ns = min_ns;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{name:<50} time: [{} .. {}]",
+        human(bencher.min_ns),
+        human(bencher.mean_ns)
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        if bencher.mean_ns > 0.0 {
+            let rate = count as f64 / (bencher.mean_ns / 1e9);
+            line.push_str(&format!("  thrpt: {rate:.0} {unit}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u64).max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            mean_ns: 0.0,
+            min_ns: 0.0,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{id}", self.name), &bencher, self.throughput);
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            mean_ns: 0.0,
+            min_ns: 0.0,
+        };
+        f(&mut bencher, input);
+        report(&format!("{}/{id}", self.name), &bencher, self.throughput);
+        self
+    }
+
+    /// Finish the group (prints a separator; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name}");
+        BenchmarkGroup {
+            name,
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: 10,
+            mean_ns: 0.0,
+            min_ns: 0.0,
+        };
+        f(&mut bencher);
+        report(&id.to_string(), &bencher, None);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,127 @@
+//! Offline vendored stand-in for `rand_distr`: the [`Distribution`] trait
+//! plus the two shapes the workspace samples — [`Exp`] (Poisson-process
+//! interarrivals) and [`LogNormal`] (heavy-tailed job runtimes).
+//!
+//! Exponential sampling uses the inverse-CDF transform; log-normal uses a
+//! Box–Muller standard normal. Both consume draws from the caller's
+//! [`rand::RngCore`], so results are deterministic given the seed.
+
+use rand::RngCore;
+
+/// Types that can generate samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draw one sample from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error building an [`Exp`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpError;
+
+impl core::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("lambda must be positive and finite")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// The exponential distribution `Exp(lambda)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Build with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: -ln(1 - u) / lambda, with u in [0, 1).
+        let u: f64 = rand::StandardSample::standard_sample(rng);
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Error building a [`LogNormal`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl core::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("mean and sigma must be finite, sigma >= 0")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The log-normal distribution: `exp(mu + sigma * Z)` for standard normal Z.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Build from the underlying normal's mean `mu` and `sigma >= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        if mu.is_finite() && sigma.is_finite() && sigma >= 0.0 {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: two uniforms -> one standard normal draw.
+        let u1 = <f64 as rand::StandardSample>::standard_sample(rng).max(f64::MIN_POSITIVE);
+        let u2: f64 = rand::StandardSample::standard_sample(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let exp = Exp::new(0.5).unwrap(); // mean 2.0
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn lognormal_median_converges() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let ln = LogNormal::new(3.0f64.ln(), 0.8).unwrap(); // median 3.0
+        let mut xs: Vec<f64> = (0..10_001).map(|_| ln.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 3.0).abs() < 0.3, "median={median}");
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+}

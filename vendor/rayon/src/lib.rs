@@ -1,0 +1,131 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Implements the slice-side subset the workspace uses —
+//! `par_iter().map(..).collect()/.sum()` — on top of `std::thread::scope`,
+//! chunking the slice across `available_parallelism()` OS threads. Results
+//! are returned in input order, so replica sweeps stay deterministic.
+
+/// One-stop imports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Types that can hand out a parallel iterator over `&self`'s elements.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type iterated by reference.
+    type Item: 'a + Sync;
+    /// Build the parallel iterator.
+    fn par_iter(&'a self) -> SliceParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct SliceParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> SliceParIter<'a, T> {
+    /// Apply `f` to every element (in parallel at consumption time).
+    pub fn map<B, F>(self, f: F) -> MapParIter<'a, T, F, B>
+    where
+        F: Fn(&'a T) -> B + Sync,
+        B: Send,
+    {
+        MapParIter {
+            items: self.items,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+}
+
+/// The result of [`SliceParIter::map`]; consumed by `collect` or `sum`.
+pub struct MapParIter<'a, T, F, B> {
+    items: &'a [T],
+    f: F,
+    _out: std::marker::PhantomData<fn() -> B>,
+}
+
+impl<'a, T: Sync, B: Send, F: Fn(&'a T) -> B + Sync> MapParIter<'a, T, F, B> {
+    fn run(self) -> Vec<B> {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let f = &self.f;
+        if threads <= 1 || n <= 1 {
+            return self.items.iter().map(f).collect();
+        }
+        let chunk_len = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<B>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("rayon stub worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Collect mapped results, preserving input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<B>,
+    {
+        self.run().into_iter().collect()
+    }
+
+    /// Sum mapped results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<B>,
+    {
+        self.run().into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let xs: Vec<u64> = (1..=100).collect();
+        let total: u64 = xs.par_iter().map(|x| *x).sum();
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn empty_and_single_work() {
+        let empty: Vec<u32> = vec![];
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

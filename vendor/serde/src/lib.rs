@@ -1,0 +1,551 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! Instead of upstream's visitor-driven architecture, this stub routes all
+//! (de)serialization through a single self-describing [`value::Value`] tree:
+//! `Serialize` lowers a type into a `Value`, `Deserialize` lifts it back.
+//! `serde_json` (also vendored) renders and parses that tree. This supports
+//! everything the workspace needs — `#[derive(Serialize, Deserialize)]` on
+//! structs/enums (via the vendored `serde_derive`), JSON round-trips of
+//! configs and reports — at a small fraction of upstream's surface.
+
+pub mod value;
+
+pub use value::{DeError, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can lower itself into a [`Value`] tree.
+pub trait Serialize {
+    /// Produce the value-tree representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from `v`, or explain why the shape doesn't match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::msg(concat!("out of range for ", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::msg(concat!("out of range for ", stringify!($t)))),
+                    _ => Err(DeError::expected(concat!("unsigned ", stringify!($t)), v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::msg(concat!("out of range for ", stringify!($t)))),
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::msg(concat!("out of range for ", stringify!($t)))),
+                    _ => Err(DeError::expected(concat!("signed ", stringify!($t)), v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // JSON numbers cap at u64 in this stub; widths beyond that are
+        // stored as strings.
+        match u64::try_from(*self) {
+            Ok(n) => Value::U64(n),
+            Err(_) => Value::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::U64(n) => Ok(*n as u128),
+            Value::Str(s) => s.parse().map_err(|_| DeError::msg("bad u128 string")),
+            _ => Err(DeError::expected("u128", v)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            // serde_json serializes non-finite floats as null.
+            Value::Null => Ok(f64::NAN),
+            _ => Err(DeError::expected("f64", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-char string", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        // Static catalogs (e.g. monitoring component names) deserialize by
+        // leaking the owned string; the workspace only does this for small,
+        // bounded test fixtures.
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", v)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) if xs.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, x) in out.iter_mut().zip(xs) {
+                    *slot = T::from_value(x)?;
+                }
+                Ok(out)
+            }
+            _ => Err(DeError::msg("array length mismatch")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(Into::into)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize + std::hash::Hash + Eq> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for std::collections::HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+/// Maps serialize as JSON objects when every key lowers to a string, and as
+/// an array of `[key, value]` pairs otherwise (upstream serde_json would
+/// reject non-string keys outright; the workspace round-trips maps keyed by
+/// newtype ids and enums, so the pair form is load-bearing).
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)> + Clone,
+{
+    let all_str = entries
+        .clone()
+        .all(|(k, _)| matches!(k.to_value(), Value::Str(_)));
+    if all_str {
+        Value::Object(
+            entries
+                .map(|(k, v)| {
+                    let Value::Str(s) = k.to_value() else {
+                        unreachable!()
+                    };
+                    (s, v.to_value())
+                })
+                .collect(),
+        )
+    } else {
+        Value::Array(
+            entries
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+fn map_entries(v: &Value) -> Result<Vec<(Value, &Value)>, DeError> {
+    match v {
+        Value::Object(pairs) => Ok(pairs
+            .iter()
+            .map(|(k, val)| (Value::Str(k.clone()), val))
+            .collect()),
+        Value::Array(xs) => xs
+            .iter()
+            .map(|pair| match pair {
+                Value::Array(kv) if kv.len() == 2 => Ok((kv[0].clone(), &kv[1])),
+                _ => Err(DeError::msg("map entry is not a [key, value] pair")),
+            })
+            .collect(),
+        _ => Err(DeError::expected("map", v)),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        map_entries(v)?
+            .into_iter()
+            .map(|(k, val)| Ok((K::from_value(&k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize + std::hash::Hash + Eq, V: Serialize> Serialize
+    for std::collections::HashMap<K, V>
+{
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort object keys / pair entries by their
+        // rendered key so snapshots are stable across hasher seeds.
+        let mut val = map_to_value(self.iter());
+        match &mut val {
+            Value::Object(pairs) => pairs.sort_by(|a, b| a.0.cmp(&b.0)),
+            Value::Array(pairs) => pairs.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}"))),
+            _ => {}
+        }
+        val
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        map_entries(v)?
+            .into_iter()
+            .map(|(k, val)| Ok((K::from_value(&k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(xs) if xs.len() == [$($idx),+].len() => {
+                        Ok(($($name::from_value(&xs[$idx])?,)+))
+                    }
+                    _ => Err(DeError::msg("tuple arity mismatch")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+impl<T: ?Sized> Serialize for std::marker::PhantomData<T> {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: ?Sized> Deserialize for std::marker::PhantomData<T> {
+    fn from_value(_: &Value) -> Result<Self, DeError> {
+        Ok(std::marker::PhantomData)
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            Value::U64(self.as_secs()),
+            Value::U64(self.subsec_nanos() as u64),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let (secs, nanos) = <(u64, u32)>::from_value(v)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, HashMap};
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let x = f64::from_value(&1.5f64.to_value()).unwrap();
+        assert_eq!(x, 1.5);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        assert_eq!(Vec::<(u32, String)>::from_value(&v.to_value()).unwrap(), v);
+        let m: BTreeMap<String, u64> = [("x".into(), 1), ("y".into(), 2)].into();
+        assert_eq!(
+            BTreeMap::<String, u64>::from_value(&m.to_value()).unwrap(),
+            m
+        );
+        let opt: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&opt.to_value()).unwrap(), None);
+        let arr = [1u64, 2, 3];
+        assert_eq!(<[u64; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+    }
+
+    #[test]
+    fn non_string_keyed_maps_use_pairs() {
+        let m: BTreeMap<u32, String> = [(3, "c".into())].into();
+        match m.to_value() {
+            Value::Array(pairs) => assert_eq!(pairs.len(), 1),
+            other => panic!("expected pair array, got {other:?}"),
+        }
+        assert_eq!(
+            BTreeMap::<u32, String>::from_value(&m.to_value()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn hashmap_serialization_is_deterministic() {
+        let mut m = HashMap::new();
+        for i in 0..20u32 {
+            m.insert(format!("k{i}"), i);
+        }
+        assert_eq!(m.to_value(), m.clone().to_value());
+        let keys: Vec<String> = match m.to_value() {
+            Value::Object(pairs) => pairs.into_iter().map(|(k, _)| k).collect(),
+            _ => panic!("expected object"),
+        };
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

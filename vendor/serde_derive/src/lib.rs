@@ -1,0 +1,465 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde stub.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline). Supports the shapes this workspace actually derives:
+//! named structs, tuple structs (newtype-transparent at arity 1), unit
+//! structs, and enums with unit/tuple/struct variants — all optionally
+//! generic. Field attributes like `#[serde(...)]` are NOT supported; the
+//! workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// A tiny item parser
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Data {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    data: Data,
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip any number of `#[...]` attributes (including doc comments, which
+/// reach the macro as `#[doc = "..."]`).
+fn skip_attrs(iter: &mut TokenIter) {
+    while matches!(iter.peek(), Some(tt) if is_punct(tt, '#')) {
+        iter.next();
+        // The bracketed attribute body is a single Group token.
+        iter.next();
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(super)`, `pub(in ...)`.
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+/// Parse `<...>` after the type name (the `<` is already consumed),
+/// returning the type-parameter identifiers. Lifetimes and const generics
+/// are skipped — the workspace doesn't use them on serialized types.
+fn parse_generics(iter: &mut TokenIter) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && at_param_start => {
+                iter.next(); // the lifetime name
+                at_param_start = false;
+            }
+            TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                if id.to_string() == "const" {
+                    if let Some(TokenTree::Ident(_)) = iter.next() {
+                        // const generic: name consumed, bounds handled below
+                    }
+                } else {
+                    params.push(id.to_string());
+                }
+                at_param_start = false;
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+/// Count the fields of a tuple-struct/-variant body: the number of
+/// top-level (angle-depth 0) comma-separated type segments.
+fn tuple_arity(group: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut depth = 0usize;
+    let mut segment_has_tokens = false;
+    for tt in group {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth = depth.saturating_sub(1);
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if segment_has_tokens {
+                    arity += 1;
+                }
+                segment_has_tokens = false;
+            }
+            _ => segment_has_tokens = true,
+        }
+    }
+    if segment_has_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+/// Parse a `{ name: Type, ... }` body into field names.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut iter: TokenIter = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        skip_visibility(&mut iter);
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(name) = tt else { break };
+        fields.push(name.to_string());
+        // Consume `: Type` up to the next top-level comma.
+        let mut depth = 0usize;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Parse an enum body into variants.
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut iter: TokenIter = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut iter);
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(name) = tt else { break };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                iter.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Consume anything up to the separating comma (e.g. `= 3`).
+        for tt in iter.by_ref() {
+            if is_punct(&tt, ',') {
+                break;
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter: TokenIter = input.into_iter().peekable();
+    // Preamble: attributes + visibility, then `struct` or `enum`.
+    let mut is_enum = false;
+    loop {
+        skip_attrs(&mut iter);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                break;
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    let generics = if matches!(iter.peek(), Some(tt) if is_punct(tt, '<')) {
+        iter.next();
+        parse_generics(&mut iter)
+    } else {
+        Vec::new()
+    };
+    // Skip a `where` clause if present: everything up to the body/semicolon.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            Some(tt) if is_punct(tt, ';') => break,
+            Some(_) => {
+                iter.next();
+            }
+            None => break,
+        }
+    }
+    let data = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Data::Enum(parse_variants(g.stream()))
+            } else {
+                Data::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Data::Struct(Shape::Tuple(tuple_arity(g.stream())))
+        }
+        _ => Data::Struct(Shape::Unit),
+    };
+    Item {
+        name,
+        generics,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, then reparsed)
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{t} for {n}", t = trait_name, n = item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{bounds}> ::serde::{t} for {n}<{params}>",
+            bounds = bounded.join(", "),
+            t = trait_name,
+            n = item.name,
+            params = item.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.data {
+        Data::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Data::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Data::Struct(Shape::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Data::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let ty = &item.name;
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push(format!(
+                        "{ty}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push(format!(
+                            "{ty}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push(format!(
+                            "{ty}::{vn} {{ {fields} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),",
+                            fields = fields.join(", "),
+                            entries = entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        header = impl_header(item, "Serialize")
+    )
+}
+
+/// Expression deserializing one named field from object `__v`.
+fn field_from_object(ty: &str, f: &str) -> String {
+    format!(
+        "{f}: match __v.get(\"{f}\") {{ \
+            Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+            None => ::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| \
+                ::serde::DeError::msg(concat!(\"missing field `{f}` in \", \"{ty}\")))?, \
+        }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let ty = &item.name;
+    let body = match &item.data {
+        Data::Struct(Shape::Unit) => format!("{{ let _ = __v; Ok({ty}) }}"),
+        Data::Struct(Shape::Tuple(1)) => {
+            format!("Ok({ty}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__xs[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{ \
+                    ::serde::Value::Array(__xs) if __xs.len() == {n} => Ok({ty}({elems})), \
+                    _ => Err(::serde::DeError::msg(\"expected {n}-element array for {ty}\")), \
+                }}",
+                elems = elems.join(", ")
+            )
+        }
+        Data::Struct(Shape::Named(fields)) => {
+            let inits: Vec<String> = fields.iter().map(|f| field_from_object(ty, f)).collect();
+            format!(
+                "match __v {{ \
+                    ::serde::Value::Object(_) => Ok({ty} {{ {inits} }}), \
+                    _ => Err(::serde::DeError::expected(\"object for {ty}\", __v)), \
+                }}",
+                inits = inits.join(", ")
+            )
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push(format!("\"{vn}\" => Ok({ty}::{vn}),")),
+                    Shape::Tuple(1) => data_arms.push(format!(
+                        "\"{vn}\" => Ok({ty}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__xs[{i}])?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => match __inner {{ \
+                                ::serde::Value::Array(__xs) if __xs.len() == {n} => Ok({ty}::{vn}({elems})), \
+                                _ => Err(::serde::DeError::msg(\"bad payload for {ty}::{vn}\")), \
+                            }},",
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| field_from_object(ty, f).replace("__v.get", "__inner.get"))
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => match __inner {{ \
+                                ::serde::Value::Object(_) => Ok({ty}::{vn} {{ {inits} }}), \
+                                _ => Err(::serde::DeError::msg(\"bad payload for {ty}::{vn}\")), \
+                            }},",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{ \
+                    ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                        {unit_arms} \
+                        __other => Err(::serde::DeError::msg(format!(\"unknown {ty} variant `{{__other}}`\"))), \
+                    }}, \
+                    ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                        let (__tag, __inner) = (&__pairs[0].0, &__pairs[0].1); \
+                        match __tag.as_str() {{ \
+                            {data_arms} \
+                            __other => Err(::serde::DeError::msg(format!(\"unknown {ty} variant `{{__other}}`\"))), \
+                        }} \
+                    }}, \
+                    _ => Err(::serde::DeError::expected(\"{ty} variant\", __v)), \
+                }}",
+                unit_arms = unit_arms.join(" "),
+                data_arms = data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        header = impl_header(item, "Deserialize")
+    )
+}
+
+/// Derive the vendored `serde::Serialize` (value-lowering) implementation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive the vendored `serde::Deserialize` (value-lifting) implementation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
