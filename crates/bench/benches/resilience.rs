@@ -1,0 +1,196 @@
+//! Resilience-layer cost measurements (custom harness).
+//!
+//! The broker sits on the hot path — every placement consults the
+//! health veto — so the layer must be cheap when idle and acceptable
+//! under churn. Writes the machine-readable `BENCH_resilience.json` at
+//! the repo root:
+//!
+//! * broker selection micro cost: plain `select` vs `select_filtered`
+//!   with a quiet layer vs `select_filtered` under blacklist churn,
+//! * whole-scenario wall-clock: sc2003 baseline vs `sc2003_operated`
+//!   (churn + storms + retries + the IGOC feedback loop),
+//! * the operated run's feedback-loop counters, as a drift canary.
+
+use grid3_core::broker::Broker;
+use grid3_core::engine::Simulation;
+use grid3_core::resilience::{ResilienceConfig, ResilienceLayer};
+use grid3_core::scenario::ScenarioConfig;
+use grid3_middleware::mds::GlueRecord;
+use grid3_simkit::ids::{SiteId, UserId};
+use grid3_simkit::rng::SimRng;
+use grid3_simkit::time::{SimDuration, SimTime};
+use grid3_simkit::units::{Bandwidth, Bytes};
+use grid3_site::job::JobSpec;
+use grid3_site::vo::UserClass;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SITES: u32 = 27;
+
+fn glue(site: u32) -> GlueRecord {
+    GlueRecord {
+        site: SiteId(site),
+        site_name: format!("S{site}"),
+        total_cpus: 100,
+        free_cpus: 20 + (site * 7) % 60,
+        queued_jobs: (site * 3) % 25,
+        max_walltime: SimDuration::from_hours(48),
+        se_free: Bytes::from_tb(5),
+        se_total: Bytes::from_tb(5),
+        wan_bandwidth: Bandwidth::from_mbit_per_sec(100.0 + site as f64),
+        outbound_connectivity: true,
+        allowed_vos: None,
+        owner_vo: None,
+        app_install_area: "/app".into(),
+        tmp_dir: "/tmp".into(),
+        data_dir: "/data".into(),
+        vdt_location: "/vdt".into(),
+        vdt_version: "1".into(),
+        timestamp: SimTime::EPOCH,
+    }
+}
+
+fn bench_spec() -> JobSpec {
+    JobSpec {
+        class: UserClass::Ivdgl,
+        user: UserId(7),
+        reference_runtime: SimDuration::from_hours(4),
+        requested_walltime: SimDuration::from_hours(8),
+        input_bytes: Bytes::from_gb(1),
+        output_bytes: Bytes::from_gb(1),
+        scratch_bytes: Bytes::from_gb(1),
+        needs_outbound: false,
+        staged_files: 1,
+        registers_output: true,
+    }
+}
+
+/// ns per selection over `n` iterations of the given select closure.
+fn ns_per_select(n: u64, mut select: impl FnMut(u64) -> Option<SiteId>) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..n {
+        black_box(select(i));
+    }
+    t0.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// Best-of-`reps` wall-clock seconds for one run of `cfg`.
+fn scenario_secs(cfg: &ScenarioConfig, reps: usize) -> (f64, Simulation) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let mut sim = Simulation::new(cfg.clone());
+        let t0 = Instant::now();
+        sim.run();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(sim);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let named = args.iter().any(|a| "resilience".contains(a.as_str()));
+    if !args.is_empty() && !args.iter().all(|a| a.starts_with("--")) && !named {
+        return;
+    }
+
+    eprintln!("[resilience] broker selection micro cost…");
+    let records: Vec<GlueRecord> = (0..SITES).map(glue).collect();
+    let refs: Vec<&GlueRecord> = records.iter().collect();
+    let broker = Broker::default();
+    let spec = bench_spec();
+    const N: u64 = 200_000;
+
+    let mut rng = SimRng::for_entity(0xBE, 1);
+    let plain_ns = ns_per_select(N, |_| broker.select(&spec, 0.5, &refs, &mut rng));
+
+    let quiet = ResilienceLayer::new(ResilienceConfig::grid3_default(), SITES as usize);
+    let mut rng = SimRng::for_entity(0xBE, 2);
+    let now = SimTime::EPOCH;
+    let quiet_ns = ns_per_select(N, |_| {
+        broker.select_filtered(&spec, 0.5, &refs, &mut rng, |s| quiet.is_banned(s, now))
+    });
+
+    // Churn: every 64 selections a different third of the grid is under
+    // a fresh 2-hour blacklist, so the veto path and the all-banned
+    // fallback both stay exercised.
+    let mut churning = ResilienceLayer::new(ResilienceConfig::grid3_default(), SITES as usize);
+    let mut rng = SimRng::for_entity(0xBE, 3);
+    let churn_ns = ns_per_select(N, |i| {
+        let now = SimTime::EPOCH + SimDuration::from_mins(i);
+        if i % 64 == 0 {
+            let phase = (i / 64) % 3;
+            for s in 0..SITES {
+                if u64::from(s) % 3 == phase {
+                    churning.blacklist(SiteId(s), now + SimDuration::from_hours(2));
+                }
+            }
+        }
+        broker.select_filtered(&spec, 0.5, &refs, &mut rng, |s| churning.is_banned(s, now))
+    });
+    let veto_overhead_pct = (quiet_ns / plain_ns - 1.0) * 100.0;
+
+    eprintln!("[resilience] whole-scenario wall-clock (3 reps each)…");
+    let base_cfg = ScenarioConfig::sc2003()
+        .with_scale(0.05)
+        .with_seed(2003)
+        .with_demo(false);
+    let oper_cfg = ScenarioConfig::sc2003_operated()
+        .with_scale(0.05)
+        .with_seed(2003)
+        .with_demo(false);
+    let (base_secs, base_sim) = scenario_secs(&base_cfg, 3);
+    let (oper_secs, oper_sim) = scenario_secs(&oper_cfg, 3);
+    let oper_overhead_pct = (oper_secs / base_secs - 1.0) * 100.0;
+    let layer = oper_sim.resilience.as_ref().expect("operated layer");
+
+    println!("resilience overhead ({SITES} sites, {N} selections):");
+    println!("  select:                    {plain_ns:>8.1} ns");
+    println!("  select_filtered (quiet):   {quiet_ns:>8.1} ns  ({veto_overhead_pct:+.2}%)");
+    println!("  select_filtered (churn):   {churn_ns:>8.1} ns");
+    println!(
+        "  sc2003 {base_secs:.3} s → operated {oper_secs:.3} s  ({oper_overhead_pct:+.2}% wall)"
+    );
+    println!(
+        "  storms {} repairs {} retries {}",
+        layer.storms_opened, layer.repairs_completed, layer.retries_scheduled
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scenario\": \"sc2003 scale=0.05 seed=2003 no-demo\",\n",
+            "  \"sites\": {},\n",
+            "  \"select_ns\": {:.2},\n",
+            "  \"select_filtered_quiet_ns\": {:.2},\n",
+            "  \"select_filtered_churn_ns\": {:.2},\n",
+            "  \"quiet_veto_overhead_pct\": {:.3},\n",
+            "  \"baseline_secs\": {:.4},\n",
+            "  \"operated_secs\": {:.4},\n",
+            "  \"operated_overhead_pct\": {:.3},\n",
+            "  \"baseline_events\": {},\n",
+            "  \"operated_events\": {},\n",
+            "  \"storms_opened\": {},\n",
+            "  \"repairs_completed\": {},\n",
+            "  \"retries_scheduled\": {}\n",
+            "}}\n"
+        ),
+        SITES,
+        plain_ns,
+        quiet_ns,
+        churn_ns,
+        veto_overhead_pct,
+        base_secs,
+        oper_secs,
+        oper_overhead_pct,
+        base_sim.events_processed(),
+        oper_sim.events_processed(),
+        layer.storms_opened,
+        layer.repairs_completed,
+        layer.retries_scheduled
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_resilience.json");
+    std::fs::write(path, json).expect("write BENCH_resilience.json");
+    eprintln!("[resilience] wrote BENCH_resilience.json");
+}

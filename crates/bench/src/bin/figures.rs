@@ -83,7 +83,7 @@ fn main() {
         let r = get("cms");
         println!("Figure 4 — CMS cumulative usage over 150 days, by site (CPU-days)");
         let mut by_site = r.fig4_by_site.clone();
-        by_site.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        by_site.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (site, days) in &by_site {
             println!("  {site:<24} {days:>10.1}");
         }

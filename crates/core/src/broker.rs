@@ -57,6 +57,30 @@ impl Broker {
         records: &[&GlueRecord],
         rng: &mut SimRng,
     ) -> Option<SiteId> {
+        self.select_filtered(spec, vo_affinity, records, rng, |_| false)
+    }
+
+    /// [`Broker::select`] with a health veto from the resilience layer.
+    ///
+    /// `banned` marks sites the fault-handling layer currently distrusts
+    /// (mid-outage, cooling down after a restore, or awaiting a storm
+    /// repair). Banned sites are dropped after the hard criteria — but if
+    /// *every* eligible site is banned, the veto is ignored and the full
+    /// eligible set is ranked: operators kept submitting during grid-wide
+    /// incidents rather than silently dropping work, so a degraded pick
+    /// beats no pick.
+    ///
+    /// With a never-banning filter this consumes exactly the RNG draws of
+    /// [`Broker::select`], so enabling the resilience layer does not
+    /// perturb baseline selection streams.
+    pub fn select_filtered(
+        &self,
+        spec: &JobSpec,
+        vo_affinity: f64,
+        records: &[&GlueRecord],
+        rng: &mut SimRng,
+        banned: impl Fn(SiteId) -> bool,
+    ) -> Option<SiteId> {
         let vo = spec.class.vo();
         let mut eligible: Vec<&&GlueRecord> = records
             .iter()
@@ -67,6 +91,16 @@ impl Broker {
             .collect();
         if eligible.is_empty() {
             return None;
+        }
+
+        // Health veto, with all-banned fallback.
+        let healthy: Vec<&&GlueRecord> = eligible
+            .iter()
+            .copied()
+            .filter(|r| !banned(r.site))
+            .collect();
+        if !healthy.is_empty() {
+            eligible = healthy;
         }
 
         // Soft preference: own-VO sites.
@@ -104,10 +138,12 @@ impl Broker {
             let hb = b.free_cpus as i64 - b.queued_jobs as i64;
             hb.cmp(&ha)
                 .then_with(|| {
+                    // total_cmp keeps the ranking a total order even if a
+                    // record ever carries a NaN bandwidth (a poisoned MDS
+                    // value must not make sort_by panic or go unstable).
                     b.wan_bandwidth
                         .as_bytes_per_sec()
-                        .partial_cmp(&a.wan_bandwidth.as_bytes_per_sec())
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .total_cmp(&a.wan_bandwidth.as_bytes_per_sec())
                 })
                 .then_with(|| a.site.cmp(&b.site))
         });

@@ -15,6 +15,7 @@
 //! evaded certification) covers the rest.
 
 use crate::broker::Broker;
+use crate::resilience::{ResilienceLayer, SiteState, SiteStateLedger};
 use crate::scenario::ScenarioConfig;
 use crate::topology::Topology;
 use grid3_apps::demonstrators::EntradaDemo;
@@ -91,6 +92,11 @@ enum Event {
     MonitorTick,
     /// Release ready nodes of a DAG campaign (index into `campaigns`).
     CampaignTick(usize),
+    /// Re-broker a job whose placement hit a transient failure, after
+    /// its GRAM retry backoff elapsed.
+    RetryPlace(JobId),
+    /// A failure-storm ticket's repair lands: re-validate the site.
+    SiteRepaired(SiteId),
 }
 
 impl EventLabel for Event {
@@ -110,6 +116,8 @@ impl EventLabel for Event {
             Event::DemoTransferDone(..) => "demo_transfer_done",
             Event::MonitorTick => "monitor_tick",
             Event::CampaignTick(..) => "campaign_tick",
+            Event::RetryPlace(..) => "retry_place",
+            Event::SiteRepaired(..) => "site_repaired",
         }
     }
 }
@@ -211,6 +219,14 @@ pub struct Simulation {
     /// Per-node retry backoff: a node listed here stays Ready but is not
     /// resubmitted before the stored time, even if another tick fires first.
     campaign_hold: HashMap<(usize, DagNodeId), SimTime>,
+    /// The adaptive fault-handling layer (`None` for baseline runs).
+    pub resilience: Option<ResilienceLayer>,
+    /// Completion accounting bucketed by site operational state at finish
+    /// time — the §7 m-eff split's source.
+    pub site_ledger: SiteStateLedger,
+    /// Jobs waiting out a retry backoff before re-brokering:
+    /// `(spec, vo_affinity, attempts already made)`.
+    retry_state: HashMap<JobId, (JobSpec, f64, u32)>,
     /// Jobs whose broker found no eligible site.
     pub unplaced_jobs: u64,
     /// Total bytes delivered by completed (and partially by failed)
@@ -317,6 +333,21 @@ impl Simulation {
             }
         }
 
+        // With the resilience layer on, sites also suffer ongoing
+        // configuration drift (§6.2's regressions after validation) at
+        // the layer's churn MTBF — giving the feedback loop a steady
+        // stream of faults to catch. Applied before schedule sampling so
+        // the drift events land in each site's incident stream.
+        if let Some(rcfg) = &cfg.resilience {
+            for site in sites.iter_mut() {
+                site.profile.failures = site
+                    .profile
+                    .failures
+                    .clone()
+                    .with_misconfig_churn(rcfg.churn_mtbf);
+            }
+        }
+
         // Failure incidents per site.
         for site in &sites {
             let mut rng = SimRng::for_label(cfg.seed, &format!("failures/{}", site.profile.name));
@@ -326,6 +357,25 @@ impl Simulation {
                 cfg.horizon().since(SimTime::EPOCH),
             ) {
                 queue.schedule_at(incident.at(), Event::Incident(site.id, incident));
+            }
+        }
+
+        // Correlated multi-site outage storms: every listed site's grid
+        // services crash at the same instant.
+        for storm in &cfg.storms {
+            let at = SimTime::from_days(storm.day) + SimDuration::from_hours(storm.hour);
+            if at >= cfg.horizon() {
+                continue;
+            }
+            let outage = SimDuration::from_hours(storm.outage_hours);
+            for raw in &storm.sites {
+                let site = SiteId(*raw);
+                if site.index() < sites.len() {
+                    queue.schedule_at(
+                        at,
+                        Event::Incident(site, FailureEvent::ServiceCrash { at, outage }),
+                    );
+                }
             }
         }
 
@@ -342,8 +392,7 @@ impl Simulation {
                 b.profile
                     .wan_bandwidth
                     .as_bytes_per_sec()
-                    .partial_cmp(&a.profile.wan_bandwidth.as_bytes_per_sec())
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&a.profile.wan_bandwidth.as_bytes_per_sec())
                     .then_with(|| a.id.cmp(&b.id))
             });
             let chosen: Vec<SiteId> = ranked.iter().take(cfg.demo_sites).map(|s| s.id).collect();
@@ -385,7 +434,12 @@ impl Simulation {
 
         let days = cfg.days as usize;
         let viewer = MdViewer::new(SimTime::EPOCH, days);
+        let resilience = cfg
+            .resilience
+            .clone()
+            .map(|rc| ResilienceLayer::new(rc, sites.len()));
         Simulation {
+            resilience,
             broker_rng: SimRng::for_entity(cfg.seed, 0xB0B),
             fate_rng: SimRng::for_entity(cfg.seed, 0xFA7E),
             cfg,
@@ -417,6 +471,8 @@ impl Simulation {
             campaign_job_map: HashMap::new(),
             campaign_hold: HashMap::new(),
             unplaced_jobs: 0,
+            site_ledger: SiteStateLedger::default(),
+            retry_state: HashMap::new(),
             bytes_delivered: Bytes::ZERO,
             events_processed: 0,
         }
@@ -437,9 +493,10 @@ impl Simulation {
         self.events_processed
     }
 
-    /// Jobs currently tracked (not yet terminal).
+    /// Jobs currently tracked (not yet terminal), including jobs parked
+    /// in a retry backoff awaiting re-brokering.
     pub fn active_jobs(&self) -> usize {
-        self.jobs.len()
+        self.jobs.len() + self.retry_state.len()
     }
 
     /// Run to the horizon.
@@ -479,6 +536,9 @@ impl Simulation {
                 self.gridftp
                     .set_link_up(site, self.sites[site.index()].network_up);
                 self.resolve_site_tickets(site, now);
+                if let Some(r) = &mut self.resilience {
+                    r.reinstate(site, now);
+                }
                 self.queue.schedule_at(now, Event::TryDispatch(site));
             }
             Event::NetworkRestore(site) => {
@@ -486,6 +546,9 @@ impl Simulation {
                 self.gridftp
                     .set_link_up(site, self.sites[site.index()].service_up);
                 self.resolve_site_tickets(site, now);
+                if let Some(r) = &mut self.resilience {
+                    r.reinstate(site, now);
+                }
             }
             Event::NodesRestore(site) => {
                 self.sites[site.index()].nodes_back_up();
@@ -494,13 +557,40 @@ impl Simulation {
             Event::DiskCleanup(site, bytes) => {
                 self.sites[site.index()].storage.reclaim_external(bytes);
                 self.resolve_site_tickets(site, now);
+                if let Some(r) = &mut self.resilience {
+                    r.reinstate(site, now);
+                }
                 self.queue.schedule_at(now, Event::TryDispatch(site));
             }
             Event::EntradaRound => self.on_entrada_round(now),
             Event::DemoTransferDone(xfer) => self.on_demo_transfer_done(now, xfer),
             Event::MonitorTick => self.on_monitor_tick(now),
             Event::CampaignTick(idx) => self.on_campaign_tick(now, idx),
+            Event::RetryPlace(job) => {
+                if let Some((spec, affinity, attempt)) = self.retry_state.remove(&job) {
+                    self.try_place(now, job, spec, affinity, attempt);
+                }
+            }
+            Event::SiteRepaired(site) => self.on_site_repaired(now, site),
         }
+    }
+
+    /// A failure-storm repair lands: resolve the ticket, re-validate the
+    /// site into the low-failure *repaired* regime, lift every ban.
+    fn on_site_repaired(&mut self, now: SimTime, site: SiteId) {
+        let Some(r) = &mut self.resilience else {
+            return;
+        };
+        let Some(ticket) = r.finish_repair(site) else {
+            return;
+        };
+        self.center.tickets.resolve(ticket, now);
+        let s = &mut self.sites[site.index()];
+        s.validated = true;
+        s.repaired = true;
+        self.telemetry
+            .counter_add("resilience", "repair", format!("site{}", site.0), 1);
+        self.queue.schedule_at(now, Event::TryDispatch(site));
     }
 
     fn on_submit(&mut self, now: SimTime, sub: Submission, affinity: f64) {
@@ -517,12 +607,11 @@ impl Simulation {
         affinity: f64,
         campaign: Option<(usize, DagNodeId)>,
     ) -> JobId {
-        let sub = Submission { at: now, spec };
         let job = self.job_ids.next_id();
         if let Some(tag) = campaign {
             self.campaign_job_map.insert(job, tag);
         }
-        self.traces.open(job, sub.spec.class, sub.spec.user, now);
+        self.traces.open(job, spec.class, spec.user, now);
         // Engine-level lifecycle span, linked by the TraceStore job id;
         // closed by `finish_job_record` for every terminal path.
         if self.telemetry.is_enabled() {
@@ -531,23 +620,83 @@ impl Simulation {
                 .span_enter(now, "engine", "job", Some(u64::from(job.0)));
             self.job_spans.insert(job, span);
         }
+        self.try_place(now, job, spec, affinity, 0);
+        job
+    }
+
+    /// Whether a transient placement failure on `attempt` gets another
+    /// try under the resilience layer's retry policy.
+    fn can_retry(&self, attempt: u32) -> bool {
+        self.resilience
+            .as_ref()
+            .is_some_and(|r| r.config().retry.allows(attempt))
+    }
+
+    /// Park a job for re-brokering after its backoff (deterministically
+    /// jittered per job+attempt so synchronized refusals decorrelate).
+    fn schedule_retry(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        spec: JobSpec,
+        affinity: f64,
+        attempt: u32,
+    ) {
+        let delay = self
+            .resilience
+            .as_ref()
+            .expect("retry implies resilience")
+            .config()
+            .retry
+            .delay(attempt, u64::from(job.0));
+        self.retry_state.insert(job, (spec, affinity, attempt + 1));
+        self.queue.schedule_at(now + delay, Event::RetryPlace(job));
+        if let Some(r) = &mut self.resilience {
+            r.retries_scheduled += 1;
+        }
+        self.telemetry.counter_add("resilience", "retry", "gram", 1);
+    }
+
+    /// One placement attempt: broker (consulting the blacklist) →
+    /// gatekeeper → reservations → stage-in. Transient failures re-enter
+    /// through [`Event::RetryPlace`] until the retry budget runs out.
+    fn try_place(&mut self, now: SimTime, job: JobId, spec: JobSpec, affinity: f64, attempt: u32) {
         // Candidate records: fresh in MDS and currently online.
         let records = self.center.mds.fresh_records(now);
         let online: Vec<&GlueRecord> = records
             .into_iter()
             .filter(|r| self.topo.is_online(r.site, now))
             .collect();
-        let selected = self
-            .broker
-            .select(&sub.spec, affinity, &online, &mut self.broker_rng);
+        // The health veto from the resilience layer (empty in baseline
+        // runs, so `select_filtered` degenerates to `select`).
+        let banned: Vec<SiteId> = match &self.resilience {
+            Some(r) => online
+                .iter()
+                .map(|rec| rec.site)
+                .filter(|s| r.is_banned(*s, now))
+                .collect(),
+            None => Vec::new(),
+        };
+        let selected =
+            self.broker
+                .select_filtered(&spec, affinity, &online, &mut self.broker_rng, |s| {
+                    banned.contains(&s)
+                });
         let Some(site) = selected else {
+            // An empty grid view is usually transient (MDS records expired
+            // during a monitoring gap, or every candidate mid-outage):
+            // worth a backoff-retry before declaring the job unplaceable.
+            if self.can_retry(attempt) {
+                self.schedule_retry(now, job, spec, affinity, attempt);
+                return;
+            }
             self.unplaced_jobs += 1;
             self.traces
                 .record(job, now, TraceEvent::Failed(FailureCause::NoEligibleSite));
             self.finish_job_record(
                 now,
                 job,
-                &sub.spec,
+                &spec,
                 SiteId(0),
                 now,
                 None,
@@ -555,7 +704,7 @@ impl Simulation {
                 Bytes::ZERO,
                 JobOutcome::Failed(FailureCause::NoEligibleSite),
             );
-            return job;
+            return;
         };
 
         self.traces.record(job, now, TraceEvent::Brokered { site });
@@ -571,10 +720,17 @@ impl Simulation {
             None
         };
         if let Err(err) =
-            self.gatekeepers[site.index()].submit(job, sub.spec.staging_load_factor(), now)
+            self.gatekeepers[site.index()].submit(job, spec.staging_load_factor(), now)
         {
             if let Some(span) = gram_span {
                 self.telemetry.span_error(now, span);
+            }
+            self.traces.record(job, now, TraceEvent::GatekeeperRefused);
+            // Transient refusals (overload, service down) back off and
+            // re-broker instead of dying on first contact.
+            if err.is_transient() && self.can_retry(attempt) {
+                self.schedule_retry(now, job, spec, affinity, attempt);
+                return;
             }
             let cause = match err {
                 grid3_middleware::gram::GramError::Overloaded { .. } => {
@@ -582,12 +738,11 @@ impl Simulation {
                 }
                 _ => FailureCause::ServiceFailure,
             };
-            self.traces.record(job, now, TraceEvent::GatekeeperRefused);
             self.traces.record(job, now, TraceEvent::Failed(cause));
             self.finish_job_record(
                 now,
                 job,
-                &sub.spec,
+                &spec,
                 site,
                 now,
                 None,
@@ -595,7 +750,7 @@ impl Simulation {
                 Bytes::ZERO,
                 JobOutcome::Failed(cause),
             );
-            return job;
+            return;
         }
         if let Some(span) = gram_span {
             self.gram_spans.insert(job, span);
@@ -605,18 +760,18 @@ impl Simulation {
         // the execution site and output space at the VO archive, both
         // claimed up-front so later disk-full incidents cannot take the
         // job down.
-        let vo = sub.spec.class.vo();
+        let vo = spec.class.vo();
         let archive = self.topo.archive_site(vo);
         let mut reservation = None;
         let mut archive_reservation = None;
         if self.cfg.srm_reservations {
-            let scratch = sub.spec.input_bytes + sub.spec.scratch_bytes;
+            let scratch = spec.input_bytes + spec.scratch_bytes;
             let fail_disk_full = |sim: &mut Self, job| {
                 sim.gatekeepers[site.index()].job_done(job).ok();
                 sim.finish_job_record(
                     now,
                     job,
-                    &sub.spec,
+                    &spec,
                     site,
                     now,
                     None,
@@ -629,12 +784,12 @@ impl Simulation {
                 Ok(r) => reservation = Some(r),
                 Err(_) => {
                     fail_disk_full(self, job);
-                    return job;
+                    return;
                 }
             }
             match self.sites[archive.index()]
                 .storage
-                .reserve(sub.spec.output_bytes)
+                .reserve(spec.output_bytes)
             {
                 Ok(r) => archive_reservation = Some(r),
                 Err(_) => {
@@ -642,17 +797,17 @@ impl Simulation {
                         let _ = self.sites[site.index()].storage.release(r);
                     }
                     fail_disk_full(self, job);
-                    return job;
+                    return;
                 }
             }
         }
 
         let src = archive;
-        let input = sub.spec.input_bytes;
+        let input = spec.input_bytes;
         self.jobs.insert(
             job,
             ActiveJob {
-                spec: sub.spec,
+                spec,
                 site,
                 submitted: now,
                 started: None,
@@ -692,10 +847,33 @@ impl Simulation {
                     self.queue
                         .schedule_at(finish, Event::StageInDone(job, xfer));
                 }
-                Err(_) => self.fail_active_job(now, job, FailureCause::StageInFailure),
+                Err(_) => {
+                    // The transfer could not even start: one end's GridFTP
+                    // door is down (often the *archive*, which a healthy
+                    // execution site can do nothing about). Re-broker
+                    // after backoff rather than dying on the spot.
+                    if self.can_retry(attempt) {
+                        self.park_for_retry(now, job, affinity, attempt);
+                    } else {
+                        self.fail_active_job(now, job, FailureCause::StageInFailure);
+                    }
+                }
             }
         }
-        job
+    }
+
+    /// Undo a placement whose stage-in could not start — release the
+    /// gatekeeper slot and reservations — and park the job for a
+    /// re-brokered retry.
+    fn park_for_retry(&mut self, now: SimTime, job: JobId, affinity: f64, attempt: u32) {
+        let Some(j) = self.jobs.remove(&job) else {
+            return;
+        };
+        self.release_job_resources(&j, job);
+        if let Some(span) = self.gram_spans.remove(&job) {
+            self.telemetry.span_error(now, span);
+        }
+        self.schedule_retry(now, job, j.spec, affinity, attempt);
     }
 
     fn on_stage_in_done(&mut self, now: SimTime, job: JobId, xfer: TransferId) {
@@ -871,10 +1049,11 @@ impl Simulation {
                 .node(node)
                 .wall_time_for(spec.reference_runtime);
             let validated = self.sites[site.index()].validated;
+            let repaired = self.sites[site.index()].repaired;
             let misconfig = self.sites[site.index()]
                 .profile
                 .failures
-                .job_misconfig_failure(&mut self.fate_rng, validated);
+                .job_misconfig_failure(&mut self.fate_rng, validated, repaired);
             let random_loss = self.sites[site.index()]
                 .profile
                 .failures
@@ -926,6 +1105,9 @@ impl Simulation {
                 self.queue
                     .schedule_at(now + cleanup_after, Event::DiskCleanup(site, taken));
                 self.center.tickets.open(site, TicketKind::DiskFull, now);
+                if let Some(r) = &mut self.resilience {
+                    r.suspend(site);
+                }
                 if !self.cfg.srm_reservations {
                     // §6.2: "a disk would fill up … and all jobs submitted
                     // to a site would die" — queued and staging jobs die.
@@ -940,6 +1122,11 @@ impl Simulation {
                 self.sites[site.index()].service_up = false;
                 self.gridftp.set_link_up(site, false);
                 self.gatekeepers[site.index()].crash();
+                // Suspend brokering before the kills so the deaths are
+                // accounted against a degraded site.
+                if let Some(r) = &mut self.resilience {
+                    r.suspend(site);
+                }
                 self.fail_site_transfers(now, site, FailureCause::ServiceFailure);
                 self.kill_non_running(now, site, FailureCause::ServiceFailure);
                 // Detection happens via the status-probe → ticket path.
@@ -949,6 +1136,9 @@ impl Simulation {
             FailureEvent::NetworkCut { outage, .. } => {
                 self.sites[site.index()].network_up = false;
                 self.gridftp.set_link_up(site, false);
+                if let Some(r) = &mut self.resilience {
+                    r.suspend(site);
+                }
                 self.fail_site_transfers(now, site, FailureCause::NetworkInterruption);
                 // Detection happens via the status-probe → ticket path.
                 self.queue
@@ -962,6 +1152,15 @@ impl Simulation {
                 }
                 self.queue
                     .schedule_at(now + SimDuration::from_hours(1), Event::NodesRestore(site));
+            }
+            FailureEvent::Misconfigured { .. } => {
+                // Configuration drift (§6.2): the site silently falls back
+                // to the high per-job failure regime. Nothing visible
+                // happens now — the storm detector has to catch it from
+                // the job-failure stream.
+                let s = &mut self.sites[site.index()];
+                s.validated = false;
+                s.repaired = false;
             }
         }
     }
@@ -1189,6 +1388,9 @@ impl Simulation {
             .tickets
             .for_site(site)
             .filter(|t| matches!(t.status, TicketStatus::Open))
+            // Failure-storm tickets resolve through their own repair
+            // event, not incidentally when some unrelated outage ends.
+            .filter(|t| t.kind != TicketKind::FailureStorm)
             .map(|t| t.id)
             .collect();
         for id in open {
@@ -1301,7 +1503,53 @@ impl Simulation {
         };
         self.acdc.ingest_record(&record);
         self.viewer.ingest_job(&record);
+        self.record_site_outcome(now, site, &outcome);
         self.notify_campaign(now, job, outcome.is_success());
+    }
+
+    /// Bucket a terminal outcome by the site's operational state and feed
+    /// the resilience layer's health window — opening a failure-storm
+    /// ticket (and scheduling its repair) when the window trips.
+    fn record_site_outcome(&mut self, now: SimTime, site: SiteId, outcome: &JobOutcome) {
+        if matches!(outcome, JobOutcome::Failed(FailureCause::NoEligibleSite)) {
+            return; // placeholder record; no site was involved
+        }
+        let success = outcome.is_success();
+        let state = if self
+            .resilience
+            .as_ref()
+            .is_some_and(|r| r.is_banned(site, now))
+        {
+            SiteState::Degraded
+        } else if self.sites[site.index()].validated {
+            SiteState::Validated
+        } else {
+            SiteState::Unvalidated
+        };
+        self.site_ledger.record(state, success);
+
+        let Some(r) = &mut self.resilience else {
+            return;
+        };
+        let site_failure = match outcome {
+            JobOutcome::Failed(cause) => cause.is_site_problem(),
+            _ => false,
+        };
+        if r.record_outcome(site, site_failure) {
+            let ticket = self
+                .center
+                .tickets
+                .open(site, TicketKind::FailureStorm, now);
+            r.begin_repair(site, ticket);
+            let delay = r
+                .config()
+                .revalidation
+                .repair_delay(TicketKind::FailureStorm);
+            self.queue
+                .schedule_at(now + delay, Event::SiteRepaired(site));
+            self.telemetry
+                .counter_add("resilience", "storm", format!("site{}", site.0), 1);
+        }
     }
 
     /// Per-campaign progress: `(dataset, state, done, total)`.

@@ -15,9 +15,14 @@
 //! * [`engine`] — the event-driven grid simulation: submission →
 //!   gatekeeper → stage-in → batch queue → execution → stage-out → RLS
 //!   registration, with the calibrated failure injection of §6.
+//! * [`resilience`] — the adaptive fault-handling layer of §6.2:
+//!   per-site health scoring and blacklisting the broker consults,
+//!   failure-storm detection feeding the iGOC ticket queue, and the
+//!   repair loop that re-validates sites into the low-failure regime.
 //! * [`scenario`] — canned experiment configurations: the 30-day SC2003
 //!   window (Figures 2, 3, 5), the 150-day CMS window (Figure 4), the
-//!   full seven months (Table 1, Figure 6, §7 metrics).
+//!   full seven months (Table 1, Figure 6, §7 metrics), and the operated
+//!   storm scenario exercising the resilience layer.
 //! * [`report`] — report extraction and ASCII rendering: Table 1, every
 //!   figure's series, and the §7 milestones/metrics block.
 //!
@@ -38,10 +43,12 @@
 pub mod broker;
 pub mod engine;
 pub mod report;
+pub mod resilience;
 pub mod scenario;
 pub mod topology;
 
 pub use engine::Simulation;
 pub use report::Grid3Report;
-pub use scenario::{CampaignSpec, ScenarioConfig};
+pub use resilience::{ResilienceConfig, ResilienceLayer};
+pub use scenario::{CampaignSpec, ScenarioConfig, StormSpec};
 pub use topology::{grid3_topology, SiteSpec, Topology};

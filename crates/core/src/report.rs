@@ -2,6 +2,7 @@
 //! finished simulation.
 
 use crate::engine::Simulation;
+use crate::resilience::SiteState;
 use grid3_monitoring::acdc::ClassStats;
 use grid3_simkit::units::Bytes;
 use grid3_site::vo::{UserClass, Vo};
@@ -74,8 +75,25 @@ pub struct Grid3Report {
     /// Per-class completion efficiency and time-to-start (§7: "the value
     /// of this metric varies depending on the application").
     pub per_class_efficiency: Vec<ClassEfficiency>,
+    /// Measured completion efficiency bucketed by the site's operational
+    /// state at finish time — the §7 m-eff split (≈70 % overall, >90 % on
+    /// validated sites), observed rather than derived.
+    pub site_state_efficiency: Vec<SiteStateEfficiency>,
     /// Total job records (completed + failed).
     pub total_jobs: u64,
+}
+
+/// Completion accounting for one site operational state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteStateEfficiency {
+    /// Bucket label: "validated", "unvalidated" or "degraded".
+    pub state: String,
+    /// Completed jobs finishing while the site was in this state.
+    pub completed: u64,
+    /// Failed jobs finishing while the site was in this state.
+    pub failed: u64,
+    /// Completion efficiency of the bucket (0 when empty).
+    pub efficiency: f64,
 }
 
 /// Per-class completion/latency summary.
@@ -257,6 +275,22 @@ impl Grid3Report {
                     mean_time_to_start_hr: sim.acdc.queue_wait_stats(*class).mean(),
                 })
                 .collect(),
+            site_state_efficiency: [
+                SiteState::Validated,
+                SiteState::Unvalidated,
+                SiteState::Degraded,
+            ]
+            .into_iter()
+            .map(|state| {
+                let (completed, failed) = sim.site_ledger.counts(state);
+                SiteStateEfficiency {
+                    state: state.label().to_string(),
+                    completed,
+                    failed,
+                    efficiency: sim.site_ledger.efficiency(state),
+                }
+            })
+            .collect(),
             total_jobs: sim.acdc.total_records(),
         }
     }
@@ -348,6 +382,28 @@ impl Grid3Report {
             m.overall_efficiency * 100.0,
             m.validated_site_efficiency * 100.0
         );
+        // The measured m-eff split by site state (vs. the derived "clean"
+        // figure above): validated sites must clear the paper's >90 %.
+        let split = self
+            .site_state_efficiency
+            .iter()
+            .filter(|b| b.completed + b.failed > 0)
+            .map(|b| {
+                format!(
+                    "{} {:.0}% ({})",
+                    b.state,
+                    b.efficiency * 100.0,
+                    b.completed + b.failed
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        if !split.is_empty() {
+            let _ = writeln!(
+                out,
+                "  Eff. by site state   --              paper >90% validated      measured {split}"
+            );
+        }
         let _ = writeln!(
             out,
             "  Peak concurrent jobs target 1000     paper 1300 (2003-11-20)   measured {:.0} ({})",

@@ -1,15 +1,52 @@
-//! The acceptable-use policy (§5.4: "an acceptable use policy modeled
-//! after that used by the LCG was adopted").
+//! Operations-center policies: the acceptable-use policy (§5.4: "an
+//! acceptable use policy modeled after that used by the LCG was adopted")
+//! and the re-validation policy that closes the failure-feedback loop
+//! (§6.2: sites return to the high-efficiency regime "once sites are
+//! fully validated" after operator intervention).
 //!
-//! The model captures the operational semantics: users must accept the
+//! The AUP model captures the operational semantics: users must accept the
 //! policy before their DN reaches any grid-map file, and the policy text
 //! carries enumerable rules the operations center can point to when
 //! revoking access.
 
+use crate::tickets::TicketKind;
 use grid3_simkit::ids::UserId;
-use grid3_simkit::time::SimTime;
+use grid3_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// How long a ticket of each kind takes to turn into a *repaired,
+/// re-validated* site.
+///
+/// The delay is triage latency plus the ticket kind's central-effort
+/// hours stretched by a wall-clock factor: iGOC staff are part-time
+/// (§7's "typically 10 part-time" people), so an hour of booked effort
+/// spans several hours of calendar time, and the site admins doing the
+/// actual fix are on the far side of an email round-trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RevalidationPolicy {
+    /// Queue time before an operator picks the ticket up.
+    pub triage: SimDuration,
+    /// Calendar hours consumed per booked effort hour.
+    pub stretch: f64,
+}
+
+impl RevalidationPolicy {
+    /// The calibration used by the resilience layer: two-hour triage,
+    /// 3× calendar stretch (a 3-hour storm diagnosis lands the repair
+    /// roughly half a working day after the storm trips).
+    pub fn grid3() -> Self {
+        RevalidationPolicy {
+            triage: SimDuration::from_hours(2),
+            stretch: 3.0,
+        }
+    }
+
+    /// Wall-clock delay from ticket open to completed repair.
+    pub fn repair_delay(&self, kind: TicketKind) -> SimDuration {
+        self.triage + SimDuration::from_hours_f64(kind.effort_hours() * self.stretch)
+    }
+}
 
 /// Outcome of an authorization check against the policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -115,5 +152,16 @@ mod tests {
         p.accept(UserId(2), SimTime::EPOCH);
         p.accept(UserId(2), SimTime::from_days(5));
         assert_eq!(p.permitted_count(), 1);
+    }
+
+    #[test]
+    fn repair_delay_scales_with_effort() {
+        let p = RevalidationPolicy::grid3();
+        let storm = p.repair_delay(TicketKind::FailureStorm);
+        let hardware = p.repair_delay(TicketKind::Hardware);
+        assert!(storm > p.triage);
+        assert!(hardware > storm, "hardware repairs are the slow tail");
+        // Storm: 2 h triage + 3 effort-hours × 3 stretch = 11 h.
+        assert_eq!(storm, SimDuration::from_hours(11));
     }
 }

@@ -26,6 +26,10 @@ pub enum TicketKind {
     Hardware,
     /// User-reported application issue.
     UserReport,
+    /// Opened automatically by the resilience layer when a site's job
+    /// failure rate storms past threshold (§6.2's "all jobs submitted to
+    /// a site would die" bursts); resolution re-validates the site.
+    FailureStorm,
 }
 
 impl TicketKind {
@@ -42,6 +46,11 @@ impl TicketKind {
             TicketKind::Misconfiguration => 4.0,
             TicketKind::Hardware => 6.0,
             TicketKind::UserReport => 1.0,
+            // Storm triage is mostly diagnosis: find which of the §6.1
+            // failure classes is behind the burst, then hand off to the
+            // site admins; cheaper than a from-scratch misconfiguration
+            // hunt because the job-level evidence arrives with the ticket.
+            TicketKind::FailureStorm => 3.0,
         }
     }
 }

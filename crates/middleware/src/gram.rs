@@ -217,6 +217,84 @@ impl Gatekeeper {
     }
 }
 
+impl GramError {
+    /// Whether a retry can plausibly succeed: overloads drain within the
+    /// 60 s spike window and crashed services restart, but an unknown job
+    /// id is a caller bug no backoff will fix.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, GramError::Overloaded { .. } | GramError::ServiceDown)
+    }
+}
+
+/// Exponential-backoff retry discipline for GRAM submissions, the
+/// automated version of what "Running CMS software on GRID Testbeds"
+/// reports operators doing by hand: resubmit refused jobs after a
+/// widening delay instead of abandoning them.
+///
+/// The jitter is *deterministic*: a hash of `(job id, attempt)` picks a
+/// point in the jitter band, so reruns of the same scenario replay the
+/// exact same schedule (the simulation's bit-identical replay invariant)
+/// while distinct jobs still decorrelate — a refused burst does not come
+/// back as the same thundering herd.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Resubmissions allowed after the first attempt.
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Backoff multiplier per subsequent attempt.
+    pub multiplier: f64,
+    /// Hard ceiling on any single delay.
+    pub max_delay: SimDuration,
+    /// Fraction of the nominal delay used as the jitter band: the final
+    /// delay is `nominal × (1 − jitter/2 + jitter·u)` for `u ∈ [0, 1)`.
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// The calibration used by the resilience layer: five retries
+    /// starting at 5 minutes (enough to clear the 60 s overload spike
+    /// window), tripling to a 2-hour cap, ±25 % jitter. The full
+    /// schedule spans ≈5 h of backoff — sized to outlast a typical
+    /// service outage at the far end of a transfer, not just a load
+    /// spike at the gatekeeper.
+    pub fn grid3_default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base: SimDuration::from_mins(5),
+            multiplier: 3.0,
+            max_delay: SimDuration::from_hours(2),
+            jitter: 0.5,
+        }
+    }
+
+    /// Whether attempt number `attempt` (0-based count of retries already
+    /// spent) may be retried.
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt < self.max_retries
+    }
+
+    /// The backoff delay before retry number `attempt` (0-based) of the
+    /// entity identified by `key` (typically the job id).
+    pub fn delay(&self, attempt: u32, key: u64) -> SimDuration {
+        let nominal = self.base.as_secs_f64() * self.multiplier.powi(attempt.min(62) as i32);
+        let nominal = nominal.min(self.max_delay.as_secs_f64());
+        // splitmix64 over (key, attempt): cheap, stateless, and stable
+        // across runs — no SimRng stream is consumed.
+        let mut h = key
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(attempt));
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = nominal * (1.0 - self.jitter / 2.0 + self.jitter * unit);
+        SimDuration::from_secs_f64(jittered.max(1.0))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,5 +418,45 @@ mod tests {
         let ls = short.load_one_min(t);
         let ll = long.load_one_min(t);
         assert!(ls > 5.0 * ll, "short {ls} vs long {ll}");
+    }
+
+    #[test]
+    fn retry_delays_grow_and_respect_cap() {
+        let p = RetryPolicy::grid3_default();
+        let job = 42u64;
+        let d0 = p.delay(0, job);
+        let d1 = p.delay(1, job);
+        // Jitter band is ±25 %, backoff triples: even worst-case jitter
+        // keeps consecutive delays strictly ordered.
+        assert!(d1 > d0, "{d0:?} !< {d1:?}");
+        // Far attempts saturate at max_delay × (1 + jitter/2).
+        let cap = p.max_delay.as_secs_f64() * (1.0 + p.jitter / 2.0);
+        for attempt in 8..16 {
+            assert!(p.delay(attempt, job).as_secs_f64() <= cap + 1e-6);
+        }
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_and_decorrelated() {
+        let p = RetryPolicy::grid3_default();
+        assert_eq!(p.delay(2, 7), p.delay(2, 7));
+        // Different jobs land at different points in the band.
+        let spread: std::collections::BTreeSet<u64> =
+            (0..32).map(|job| p.delay(0, job).as_micros()).collect();
+        assert!(spread.len() > 16, "jitter collapsed: {}", spread.len());
+    }
+
+    #[test]
+    fn retry_budget_is_finite() {
+        let p = RetryPolicy::grid3_default();
+        assert!(p.allows(0) && p.allows(4));
+        assert!(!p.allows(5));
+    }
+
+    #[test]
+    fn transient_errors_are_classified() {
+        assert!(GramError::Overloaded { load: 600.0 }.is_transient());
+        assert!(GramError::ServiceDown.is_transient());
+        assert!(!GramError::UnknownJob.is_transient());
     }
 }

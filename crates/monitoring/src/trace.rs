@@ -313,8 +313,7 @@ impl TraceStore {
             self.accounts.iter().map(|(u, a)| (*u, *a)).collect();
         v.sort_by(|a, b| {
             b.1.cpu_secs
-                .partial_cmp(&a.1.cpu_secs)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.1.cpu_secs)
                 .then_with(|| a.0.cmp(&b.0))
         });
         v.truncate(n);

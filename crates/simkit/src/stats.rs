@@ -113,12 +113,16 @@ impl Summary {
 }
 
 /// Percentile of a sample (nearest-rank on a sorted copy). `p` in `[0,100]`.
+///
+/// NaN-safe: samples are ordered with [`f64::total_cmp`], so a NaN that
+/// sneaks in from an upstream division sorts to the high end instead of
+/// panicking mid-report.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let rank = ((p.clamp(0.0, 100.0) / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
 }
@@ -241,6 +245,30 @@ mod tests {
                 let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
                 let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 prop_assert!(v >= lo && v <= hi);
+            }
+
+            #[test]
+            fn percentile_survives_nan_injection(
+                xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                nan_at in proptest::collection::vec(0usize..100, 0..10),
+                p in 0f64..100.0,
+            ) {
+                // Poison arbitrary positions with NaN; the call must not
+                // panic, and finite percentiles must stay within the
+                // finite sample range.
+                let mut poisoned = xs.clone();
+                for i in &nan_at {
+                    let k = i % poisoned.len();
+                    poisoned[k] = f64::NAN;
+                }
+                let v = percentile(&poisoned, p);
+                let finite: Vec<f64> =
+                    poisoned.iter().copied().filter(|x| x.is_finite()).collect();
+                if v.is_finite() && !finite.is_empty() {
+                    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    prop_assert!(v >= lo && v <= hi);
+                }
             }
         }
     }

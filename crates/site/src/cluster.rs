@@ -147,6 +147,10 @@ pub struct Site {
     /// Whether the site has passed certification (§5.1); unvalidated sites
     /// fail jobs at the elevated misconfiguration rate.
     pub validated: bool,
+    /// Whether the site has been through an operator repair cycle
+    /// (ticket resolved + re-validated): repaired sites run in the low
+    /// failure regime until the next configuration drift.
+    pub repaired: bool,
 }
 
 impl Site {
@@ -178,6 +182,7 @@ impl Site {
             service_up: true,
             network_up: true,
             validated: false,
+            repaired: false,
         }
     }
 

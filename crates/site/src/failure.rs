@@ -54,6 +54,15 @@ pub enum FailureEvent {
         /// The midnight at which nodes restart.
         at: SimTime,
     },
+    /// A latent misconfiguration appears (§6.2): an upgrade or config
+    /// drift silently drops the site back to the high per-job failure
+    /// regime until operators re-validate it. Only sampled when
+    /// [`FailureModel::misconfig_mtbf`] is set (the "operated grid"
+    /// churn scenario).
+    Misconfigured {
+        /// When the drift lands.
+        at: SimTime,
+    },
 }
 
 impl FailureEvent {
@@ -63,7 +72,8 @@ impl FailureEvent {
             FailureEvent::DiskFull { at, .. }
             | FailureEvent::ServiceCrash { at, .. }
             | FailureEvent::NetworkCut { at, .. }
-            | FailureEvent::NightlyRollover { at } => *at,
+            | FailureEvent::NightlyRollover { at }
+            | FailureEvent::Misconfigured { at } => *at,
         }
     }
 }
@@ -93,6 +103,14 @@ pub struct FailureModel {
     pub misconfig_prob_unvalidated: f64,
     /// Per-job misconfiguration failure probability after certification.
     pub misconfig_prob_validated: f64,
+    /// Per-job misconfiguration failure probability after an operator
+    /// repair driven by a resolved ticket (the "low failure regime": the
+    /// fault class that tripped the storm has been fixed outright).
+    pub misconfig_prob_repaired: f64,
+    /// Mean time between configuration drifts that silently knock a site
+    /// back to the unvalidated regime; `None` (the default) disables the
+    /// churn entirely, leaving the static two-regime model untouched.
+    pub misconfig_mtbf: Option<SimDuration>,
 }
 
 impl FailureModel {
@@ -110,6 +128,8 @@ impl FailureModel {
             random_loss_prob: 0.0,
             misconfig_prob_unvalidated: 0.0,
             misconfig_prob_validated: 0.0,
+            misconfig_prob_repaired: 0.0,
+            misconfig_mtbf: None,
         }
     }
 
@@ -129,10 +149,26 @@ impl FailureModel {
             random_loss_prob: 0.03,
             misconfig_prob_unvalidated: 0.55,
             misconfig_prob_validated: 0.12,
+            misconfig_prob_repaired: 0.02,
+            misconfig_mtbf: None,
         }
     }
 
-    /// Sample every incident in `[start, start+horizon)`, in time order.
+    /// Enable configuration-drift churn with the given per-site MTBF (the
+    /// "operated grid" scenario the resilience layer is calibrated
+    /// against). Returns `self` for builder-style use.
+    pub fn with_misconfig_churn(mut self, mtbf: SimDuration) -> Self {
+        self.misconfig_mtbf = Some(mtbf);
+        self
+    }
+
+    /// Sample every incident in the half-open window `[start, start+horizon)`,
+    /// in time order.
+    ///
+    /// Every incident stream — the three Poisson processes, the churn
+    /// process, and the deterministic nightly rollover — uses the same
+    /// half-open interval semantics: an event exactly at the horizon
+    /// belongs to the *next* window, never this one.
     pub fn sample_schedule(
         &self,
         rng: &mut SimRng,
@@ -142,41 +178,64 @@ impl FailureModel {
         let end = start + horizon;
         let mut events = Vec::new();
 
-        if let Some(mtbf) = self.disk_full_mtbf {
-            let mut t = start + exp_gap(rng, mtbf);
+        // One Poisson arrival process per incident class. The sampled gap
+        // is clamped to ≥ 1 µs (one simulation tick): with a pathologically
+        // small MTBF an exponential gap can round to zero, and a
+        // zero-duration gap would never advance `t` past `end` — an
+        // infinite loop. The clamp draws no extra randomness, so schedules
+        // for realistic MTBFs are unchanged.
+        fn poisson_arrivals(
+            rng: &mut SimRng,
+            mtbf: SimDuration,
+            start: SimTime,
+            end: SimTime,
+            events: &mut Vec<FailureEvent>,
+            mut make: impl FnMut(&mut SimRng, SimTime) -> FailureEvent,
+        ) {
+            let min_gap = SimDuration::from_micros(1);
+            let mut t = start + exp_gap(rng, mtbf).max(min_gap);
             while t < end {
+                let event = make(rng, t);
+                events.push(event);
+                t += exp_gap(rng, mtbf).max(min_gap);
+            }
+        }
+
+        if let Some(mtbf) = self.disk_full_mtbf {
+            poisson_arrivals(rng, mtbf, start, end, &mut events, |rng, at| {
                 let size = self.disk_full_bytes * rng.range_f64(0.5, 1.5);
                 let cleanup = self.disk_full_cleanup * rng.range_f64(0.5, 2.0);
-                events.push(FailureEvent::DiskFull {
-                    at: t,
+                FailureEvent::DiskFull {
+                    at,
                     external_bytes: size,
                     cleanup_after: cleanup,
-                });
-                t += exp_gap(rng, mtbf);
-            }
+                }
+            });
         }
         if let Some(mtbf) = self.service_crash_mtbf {
-            let mut t = start + exp_gap(rng, mtbf);
-            while t < end {
-                events.push(FailureEvent::ServiceCrash {
-                    at: t,
+            poisson_arrivals(rng, mtbf, start, end, &mut events, |rng, at| {
+                FailureEvent::ServiceCrash {
+                    at,
                     outage: self.service_outage * rng.range_f64(0.3, 2.0),
-                });
-                t += exp_gap(rng, mtbf);
-            }
+                }
+            });
         }
         if let Some(mtbf) = self.network_cut_mtbf {
-            let mut t = start + exp_gap(rng, mtbf);
-            while t < end {
-                events.push(FailureEvent::NetworkCut {
-                    at: t,
+            poisson_arrivals(rng, mtbf, start, end, &mut events, |rng, at| {
+                FailureEvent::NetworkCut {
+                    at,
                     outage: self.network_outage * rng.range_f64(0.3, 2.0),
-                });
-                t += exp_gap(rng, mtbf);
-            }
+                }
+            });
+        }
+        if let Some(mtbf) = self.misconfig_mtbf {
+            poisson_arrivals(rng, mtbf, start, end, &mut events, |_, at| {
+                FailureEvent::Misconfigured { at }
+            });
         }
         if self.nightly_rollover {
-            // First midnight strictly after `start`.
+            // First midnight strictly after `start`; half-open at `end`
+            // like the Poisson streams.
             let mut day = start.day_index() + 1;
             loop {
                 let at = SimTime::from_days(day);
@@ -197,14 +256,29 @@ impl FailureModel {
         rng.chance(self.random_loss_prob)
     }
 
-    /// Whether a given job trips a site-misconfiguration failure.
-    pub fn job_misconfig_failure(&self, rng: &mut SimRng, site_validated: bool) -> bool {
-        let p = if site_validated {
+    /// The per-job misconfiguration probability for a site's regime:
+    /// unvalidated sites fail hard, certified sites at the calibrated
+    /// residual, and operator-repaired sites at the low post-fix rate.
+    pub fn misconfig_prob(&self, site_validated: bool, site_repaired: bool) -> f64 {
+        if site_repaired {
+            self.misconfig_prob_repaired
+        } else if site_validated {
             self.misconfig_prob_validated
         } else {
             self.misconfig_prob_unvalidated
-        };
-        rng.chance(p)
+        }
+    }
+
+    /// Whether a given job trips a site-misconfiguration failure. Exactly
+    /// one RNG draw regardless of regime, so the stream stays aligned
+    /// across scenario variants.
+    pub fn job_misconfig_failure(
+        &self,
+        rng: &mut SimRng,
+        site_validated: bool,
+        site_repaired: bool,
+    ) -> bool {
+        rng.chance(self.misconfig_prob(site_validated, site_repaired))
     }
 }
 
@@ -222,7 +296,7 @@ mod tests {
         let events = m.sample_schedule(&mut rng(), SimTime::EPOCH, SimDuration::from_days(365));
         assert!(events.is_empty());
         assert!(!m.job_random_loss(&mut rng()));
-        assert!(!m.job_misconfig_failure(&mut rng(), false));
+        assert!(!m.job_misconfig_failure(&mut rng(), false, false));
     }
 
     #[test]
@@ -287,10 +361,10 @@ mod tests {
         let mut r = rng();
         let n = 20_000;
         let unval = (0..n)
-            .filter(|_| m.job_misconfig_failure(&mut r, false))
+            .filter(|_| m.job_misconfig_failure(&mut r, false, false))
             .count();
         let val = (0..n)
-            .filter(|_| m.job_misconfig_failure(&mut r, true))
+            .filter(|_| m.job_misconfig_failure(&mut r, true, false))
             .count();
         let u = unval as f64 / n as f64;
         let v = val as f64 / n as f64;
@@ -319,5 +393,78 @@ mod tests {
             SimDuration::from_days(60),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_mtbf_terminates_with_min_gap() {
+        // Regression: a 0 µs MTBF makes every exponential gap round to
+        // zero; without the ≥ 1-tick clamp the sampling loop would never
+        // advance past the horizon.
+        let m = FailureModel {
+            disk_full_mtbf: Some(SimDuration::ZERO),
+            service_crash_mtbf: Some(SimDuration::from_micros(1)),
+            network_cut_mtbf: Some(SimDuration::ZERO),
+            ..FailureModel::grid3_default()
+        };
+        let horizon = SimDuration::from_micros(50_000);
+        let events = m.sample_schedule(&mut rng(), SimTime::EPOCH, horizon);
+        // Terminates, stays in-window, and gaps honour the 1 µs floor: at
+        // most one event per stream per tick.
+        assert!(events.len() as u64 <= 3 * horizon.as_micros());
+        for e in &events {
+            assert!(e.at() > SimTime::EPOCH && e.at() < SimTime::EPOCH + horizon);
+        }
+    }
+
+    #[test]
+    fn churn_disabled_by_default_and_sampled_when_enabled() {
+        let base = FailureModel::grid3_default();
+        assert!(base.misconfig_mtbf.is_none());
+        let churned = base.clone().with_misconfig_churn(SimDuration::from_days(4));
+        let events =
+            churned.sample_schedule(&mut rng(), SimTime::EPOCH, SimDuration::from_days(400));
+        let drifts = events
+            .iter()
+            .filter(|e| matches!(e, FailureEvent::Misconfigured { .. }))
+            .count();
+        let expected = 100.0;
+        assert!(
+            (drifts as f64 - expected).abs() / expected < 0.25,
+            "≈{expected} drifts expected, got {drifts}"
+        );
+    }
+
+    #[test]
+    fn repaired_regime_is_the_lowest() {
+        let m = FailureModel::grid3_default();
+        assert!(m.misconfig_prob(false, false) > m.misconfig_prob(true, false));
+        assert!(m.misconfig_prob(true, false) > m.misconfig_prob(true, true));
+        // Repaired wins regardless of the validated flag.
+        assert_eq!(m.misconfig_prob(false, true), m.misconfig_prob_repaired);
+    }
+
+    #[test]
+    fn no_event_lands_exactly_at_horizon() {
+        // Half-open `[start, end)`: rollover midnights aligned with the
+        // horizon must be excluded, like every Poisson arrival.
+        let m = FailureModel {
+            nightly_rollover: true,
+            ..FailureModel::grid3_default()
+        };
+        for days in [1u64, 3, 7] {
+            let start = SimTime::from_days(2);
+            let horizon = SimDuration::from_days(days);
+            let events = m.sample_schedule(&mut rng(), start, horizon);
+            for e in &events {
+                assert!(e.at() < start + horizon, "event at horizon: {e:?}");
+            }
+            let rollovers = events
+                .iter()
+                .filter(|e| matches!(e, FailureEvent::NightlyRollover { .. }))
+                .count() as u64;
+            // Midnights strictly inside (start, start+days): exactly
+            // `days - 1` whole midnights plus none at the boundary.
+            assert_eq!(rollovers, days - 1);
+        }
     }
 }

@@ -4,6 +4,9 @@
 
 use grid3_sim::core::{ScenarioConfig, Simulation};
 use grid3_sim::pacman::install::InstallPipeline;
+use grid3_sim::simkit::rng::SimRng;
+use grid3_sim::simkit::time::{SimDuration, SimTime};
+use grid3_sim::site::failure::FailureModel;
 use grid3_sim::site::job::FailureCause;
 
 fn base() -> ScenarioConfig {
@@ -97,6 +100,54 @@ fn failure_mix_matches_section_6_structure() {
     let total: u64 = sim.acdc.failure_breakdown().values().sum();
     assert!(random > 0);
     assert!((random as f64) < 0.25 * total as f64);
+}
+
+#[test]
+fn failure_schedules_are_half_open_at_the_horizon() {
+    // Every incident stream samples the half-open window
+    // `[start, start+horizon)`: an event exactly at the horizon belongs
+    // to the *next* window. With a pathologically small MTBF the clamped
+    // 1-tick minimum gap makes arrivals land on every single tick, so any
+    // off-by-one at the boundary would surface immediately — and the
+    // clamp itself is the regression guard against the zero-duration-gap
+    // infinite loop.
+    let model = FailureModel {
+        service_crash_mtbf: Some(SimDuration::from_micros(1)),
+        ..FailureModel::none()
+    };
+    let start = SimTime::EPOCH;
+    let horizon = SimDuration::from_micros(50);
+    let end = start + horizon;
+    for seed in 0..20u64 {
+        let mut rng = SimRng::for_entity(0xFA11, seed);
+        let events = model.sample_schedule(&mut rng, start, horizon);
+        assert!(!events.is_empty(), "tick-rate MTBF must produce arrivals");
+        for (prev, next) in events.iter().zip(events.iter().skip(1)) {
+            assert!(prev.at() <= next.at(), "schedule out of order");
+        }
+        for ev in &events {
+            assert!(ev.at() > start, "first arrival is strictly after start");
+            assert!(
+                ev.at() < end,
+                "event at {:?} violates the half-open horizon {:?}",
+                ev.at(),
+                end
+            );
+        }
+    }
+    // The nightly rollover stream honours the same contract: a horizon
+    // landing exactly on a rollover tick excludes it.
+    let acdc = FailureModel {
+        nightly_rollover: true,
+        ..FailureModel::none()
+    };
+    let mut rng = SimRng::for_entity(0xFA12, 1);
+    let one_day = SimDuration::from_days(1);
+    let events = acdc.sample_schedule(&mut rng, start, one_day);
+    assert!(
+        events.iter().all(|e| e.at() < start + one_day),
+        "rollover exactly at the horizon must fall into the next window"
+    );
 }
 
 #[test]

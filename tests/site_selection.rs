@@ -1,7 +1,17 @@
 //! The §6.4 site-selection experiment (`a-sel` in DESIGN.md): the four
-//! hard requirements are honoured end-to-end through a whole-grid run.
+//! hard requirements are honoured end-to-end through a whole-grid run,
+//! and the broker stays well-behaved on degraded input — every eligible
+//! site blacklisted, rank ties, and blacklists expiring mid-run.
 
+use grid3_sim::core::broker::Broker;
+use grid3_sim::core::resilience::{ResilienceConfig, ResilienceLayer};
 use grid3_sim::core::{ScenarioConfig, Simulation};
+use grid3_sim::middleware::mds::GlueRecord;
+use grid3_sim::simkit::ids::{SiteId, UserId};
+use grid3_sim::simkit::rng::SimRng;
+use grid3_sim::simkit::time::{SimDuration, SimTime};
+use grid3_sim::simkit::units::{Bandwidth, Bytes};
+use grid3_sim::site::job::JobSpec;
 use grid3_sim::site::vo::UserClass;
 
 fn run_small(seed: u64) -> Simulation {
@@ -101,6 +111,147 @@ fn ligo_stays_home() {
     let sim = run_small(54);
     let sites = sim.acdc.jobs_by_site(UserClass::Ligo);
     assert!(sites.len() <= 1, "LIGO spread to {} sites", sites.len());
+}
+
+// ---------------------------------------------------------------------
+// Degraded-input behaviour: the broker under an active resilience veto.
+// ---------------------------------------------------------------------
+
+fn glue(site: u32, free: u32) -> GlueRecord {
+    GlueRecord {
+        site: SiteId(site),
+        site_name: format!("S{site}"),
+        total_cpus: 100,
+        free_cpus: free,
+        queued_jobs: 0,
+        max_walltime: SimDuration::from_hours(48),
+        se_free: Bytes::from_tb(5),
+        se_total: Bytes::from_tb(5),
+        wan_bandwidth: Bandwidth::from_mbit_per_sec(100.0),
+        outbound_connectivity: true,
+        allowed_vos: None,
+        owner_vo: None,
+        app_install_area: "/app".into(),
+        tmp_dir: "/tmp".into(),
+        data_dir: "/data".into(),
+        vdt_location: "/vdt".into(),
+        vdt_version: "1".into(),
+        timestamp: SimTime::EPOCH,
+    }
+}
+
+fn plain_spec() -> JobSpec {
+    JobSpec {
+        class: UserClass::Ivdgl,
+        user: UserId(0),
+        reference_runtime: SimDuration::from_hours(4),
+        requested_walltime: SimDuration::from_hours(8),
+        input_bytes: Bytes::from_gb(1),
+        output_bytes: Bytes::from_gb(1),
+        scratch_bytes: Bytes::from_gb(1),
+        needs_outbound: false,
+        staged_files: 1,
+        registers_output: true,
+    }
+}
+
+fn deterministic_broker() -> Broker {
+    Broker {
+        spread: 1,
+        favorite_bias: 0.0,
+    }
+}
+
+#[test]
+fn all_blacklisted_falls_back_to_full_eligible_set() {
+    // Work must keep flowing during a grid-wide incident: when the layer
+    // distrusts every eligible site, the veto is ignored rather than the
+    // job dropped.
+    let mut layer = ResilienceLayer::new(ResilienceConfig::grid3_default(), 3);
+    let until = SimTime::EPOCH + SimDuration::from_hours(6);
+    for s in 0..3 {
+        layer.blacklist(SiteId(s), until);
+    }
+    let records = [glue(0, 90), glue(1, 80), glue(2, 70)];
+    let refs: Vec<&GlueRecord> = records.iter().collect();
+    let mut rng = SimRng::for_entity(60, 1);
+    let now = SimTime::EPOCH;
+    let pick = deterministic_broker().select_filtered(&plain_spec(), 0.0, &refs, &mut rng, |s| {
+        layer.is_banned(s, now)
+    });
+    assert_eq!(
+        pick,
+        Some(SiteId(0)),
+        "all-banned fallback ranks the full set and picks the best site"
+    );
+}
+
+#[test]
+fn rank_ties_break_deterministically_by_site_id() {
+    // Identical capacity and bandwidth: the sort's final site-id key must
+    // make the pick stable, with or without a (no-op) veto in place.
+    let layer = ResilienceLayer::new(ResilienceConfig::grid3_default(), 4);
+    let records = [glue(3, 50), glue(1, 50), glue(2, 50), glue(0, 50)];
+    let refs: Vec<&GlueRecord> = records.iter().collect();
+    let now = SimTime::EPOCH;
+    for round in 0..10u64 {
+        let mut rng = SimRng::for_entity(61, round);
+        let plain = deterministic_broker()
+            .select(&plain_spec(), 0.0, &refs, &mut rng)
+            .unwrap();
+        let mut rng = SimRng::for_entity(61, round);
+        let vetoed = deterministic_broker()
+            .select_filtered(&plain_spec(), 0.0, &refs, &mut rng, |s| {
+                layer.is_banned(s, now)
+            })
+            .unwrap();
+        assert_eq!(plain, SiteId(0), "tie breaks to the lowest site id");
+        assert_eq!(plain, vetoed, "a never-banning veto must not move the pick");
+    }
+}
+
+#[test]
+fn blacklist_expiry_restores_site_spread() {
+    // §6.4 spread: with three equal sites and spread=3 the broker fans
+    // submissions across all of them. Blacklisting two pins everything on
+    // the survivor; once the cooldown lapses the spread comes back.
+    let mut layer = ResilienceLayer::new(ResilienceConfig::grid3_default(), 3);
+    let until = SimTime::EPOCH + SimDuration::from_hours(2);
+    layer.blacklist(SiteId(1), until);
+    layer.blacklist(SiteId(2), until);
+    let records = [glue(0, 90), glue(1, 85), glue(2, 80)];
+    let refs: Vec<&GlueRecord> = records.iter().collect();
+    let broker = Broker {
+        spread: 3,
+        favorite_bias: 0.0,
+    };
+    let mut rng = SimRng::for_entity(62, 7);
+    let spec = plain_spec();
+
+    let picks_at = |now: SimTime, rng: &mut SimRng| {
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..120 {
+            seen.insert(
+                broker
+                    .select_filtered(&spec, 0.0, &refs, rng, |s| layer.is_banned(s, now))
+                    .unwrap(),
+            );
+        }
+        seen
+    };
+
+    let during = picks_at(SimTime::EPOCH + SimDuration::from_hours(1), &mut rng);
+    assert_eq!(
+        during.into_iter().collect::<Vec<_>>(),
+        vec![SiteId(0)],
+        "mid-cooldown all traffic lands on the one healthy site"
+    );
+    let after = picks_at(SimTime::EPOCH + SimDuration::from_hours(3), &mut rng);
+    assert_eq!(
+        after.into_iter().collect::<Vec<_>>(),
+        vec![SiteId(0), SiteId(1), SiteId(2)],
+        "expired blacklists restore the §6.4 spread"
+    );
 }
 
 #[test]

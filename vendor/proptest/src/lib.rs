@@ -234,7 +234,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use core::ops::Range;
 
-    /// Length specification for [`vec`]: an exact length or a range.
+    /// Length specification for [`vec()`]: an exact length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
