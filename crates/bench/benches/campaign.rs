@@ -1,0 +1,118 @@
+//! Campaign-runner scaling measurements (custom harness).
+//!
+//! A campaign is embarrassingly parallel — each run is a pure function
+//! of `(config, seed)` — so wall-clock should shrink with cores while
+//! the merged summary stays byte-identical. Writes the machine-readable
+//! `BENCH_campaign.json` at the repo root:
+//!
+//! * serial wall-clock for an 8-seed sc2003 sweep,
+//! * Rayon wall-clock for the same plan, and the speedup,
+//! * pinned-thread wall-clock at 1/2/4/8 workers,
+//! * the host's core count (speedup is bounded by it; a 1-core runner
+//!   honestly reports ~1x),
+//! * a summary-identity flag: every executor merged the same bytes.
+
+use grid3_core::campaign::{run_campaign, run_campaign_serial, run_with_threads, CampaignPlan};
+use grid3_core::scenario::ScenarioConfig;
+use std::time::Instant;
+
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+const SCALE: f64 = 0.02;
+
+fn plan() -> CampaignPlan {
+    let cfg = ScenarioConfig::sc2003().with_scale(SCALE).with_demo(false);
+    CampaignPlan::single("sc2003", cfg, SEEDS.to_vec())
+}
+
+/// Best-of-`reps` wall-clock seconds plus the last outcome's summary JSON.
+fn timed(reps: usize, mut run: impl FnMut() -> String) -> (f64, String) {
+    let mut best = f64::INFINITY;
+    let mut last = String::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        last = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, last)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let named = args.iter().any(|a| "campaign".contains(a.as_str()));
+    if !args.is_empty() && !args.iter().all(|a| a.starts_with("--")) && !named {
+        return;
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let plan = plan();
+    let reps = 3;
+
+    eprintln!(
+        "[campaign] serial reference ({} runs, {reps} reps)…",
+        plan.len()
+    );
+    let (serial_secs, serial_summary) = timed(reps, || {
+        serde_json::to_string(&run_campaign_serial(&plan).summary).expect("summary json")
+    });
+
+    eprintln!("[campaign] rayon ({cores} cores)…");
+    let (rayon_secs, rayon_summary) = timed(reps, || {
+        serde_json::to_string(&run_campaign(&plan).summary).expect("summary json")
+    });
+
+    let mut pinned = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        eprintln!("[campaign] pinned {threads} thread(s)…");
+        let (secs, summary) = timed(reps, || {
+            serde_json::to_string(&run_with_threads(&plan, threads).summary).expect("summary json")
+        });
+        pinned.push((threads, secs, summary == serial_summary));
+    }
+
+    let speedup = serial_secs / rayon_secs;
+    let identical = rayon_summary == serial_summary && pinned.iter().all(|(_, _, same)| *same);
+
+    println!(
+        "campaign scaling (sc2003 scale={SCALE}, {} seeds, best of {reps}):",
+        SEEDS.len()
+    );
+    println!("  cores available:  {cores}");
+    println!("  serial:           {serial_secs:>7.3} s");
+    println!("  rayon:            {rayon_secs:>7.3} s  ({speedup:.2}x)");
+    for (threads, secs, _) in &pinned {
+        println!("  pinned {threads} thr:     {secs:>7.3} s");
+    }
+    println!("  summaries identical across executors: {identical}");
+
+    let pinned_json: Vec<String> = pinned
+        .iter()
+        .map(|(threads, secs, _)| format!("    {{ \"threads\": {threads}, \"secs\": {secs:.4} }}"))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scenario\": \"sc2003 scale={} no-demo\",\n",
+            "  \"seeds\": {},\n",
+            "  \"cores\": {},\n",
+            "  \"serial_secs\": {:.4},\n",
+            "  \"rayon_secs\": {:.4},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"pinned\": [\n{}\n  ],\n",
+            "  \"summaries_identical\": {}\n",
+            "}}\n"
+        ),
+        SCALE,
+        SEEDS.len(),
+        cores,
+        serial_secs,
+        rayon_secs,
+        speedup,
+        pinned_json.join(",\n"),
+        identical
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(path, json).expect("write BENCH_campaign.json");
+    eprintln!("[campaign] wrote BENCH_campaign.json");
+}

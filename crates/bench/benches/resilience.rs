@@ -143,7 +143,7 @@ fn main() {
     let (base_secs, base_sim) = scenario_secs(&base_cfg, 3);
     let (oper_secs, oper_sim) = scenario_secs(&oper_cfg, 3);
     let oper_overhead_pct = (oper_secs / base_secs - 1.0) * 100.0;
-    let layer = oper_sim.resilience.as_ref().expect("operated layer");
+    let layer = oper_sim.resilience().expect("operated layer");
 
     println!("resilience overhead ({SITES} sites, {N} selections):");
     println!("  select:                    {plain_ns:>8.1} ns");

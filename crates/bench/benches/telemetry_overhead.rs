@@ -47,7 +47,7 @@ fn scenario_events_per_sec(telemetry: bool, reps: usize) -> (u64, f64) {
         if dt < best {
             best = dt;
         }
-        black_box(&sim.telemetry);
+        black_box(sim.telemetry());
     }
     (events, best)
 }

@@ -83,7 +83,7 @@ fn main() {
         let r = get("cms");
         println!("Figure 4 — CMS cumulative usage over 150 days, by site (CPU-days)");
         let mut by_site = r.fig4_by_site.clone();
-        by_site.sort_by(|a, b| b.1.total_cmp(&a.1));
+        by_site.sort_by(|a, b| grid3_simkit::stats::cmp_f64_desc(a.1, b.1));
         for (site, days) in &by_site {
             println!("  {site:<24} {days:>10.1}");
         }
@@ -240,7 +240,7 @@ fn main() {
         eprintln!("[figures] running instrumented sc2003 scenario at full scale…");
         let mut sim = grid3_core::engine::Simulation::new(sc2003_config(SEED).with_telemetry(true));
         sim.run();
-        let tele = &sim.telemetry;
+        let tele = &sim.telemetry();
         println!("  event dispatches: {}", tele.dispatch_total());
         println!("  hottest event types:");
         for (label, n) in tele.hottest_events(10) {

@@ -138,12 +138,13 @@ impl Broker {
             let hb = b.free_cpus as i64 - b.queued_jobs as i64;
             hb.cmp(&ha)
                 .then_with(|| {
-                    // total_cmp keeps the ranking a total order even if a
-                    // record ever carries a NaN bandwidth (a poisoned MDS
-                    // value must not make sort_by panic or go unstable).
-                    b.wan_bandwidth
-                        .as_bytes_per_sec()
-                        .total_cmp(&a.wan_bandwidth.as_bytes_per_sec())
+                    // cmp_f64_desc keeps the ranking a NaN-safe total
+                    // order (a poisoned MDS value must not make sort_by
+                    // panic or go unstable).
+                    grid3_simkit::stats::cmp_f64_desc(
+                        a.wan_bandwidth.as_bytes_per_sec(),
+                        b.wan_bandwidth.as_bytes_per_sec(),
+                    )
                 })
                 .then_with(|| a.site.cmp(&b.site))
         });

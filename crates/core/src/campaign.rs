@@ -1,0 +1,296 @@
+//! Whole-run campaigns: fan a scenario across seeds and parameter
+//! variants in parallel, then merge the per-run [`Grid3Report`]s into a
+//! campaign summary with percentile bands.
+//!
+//! The discrete-event core is strictly sequential per run — a run is a
+//! pure function of `(config, seed)` — so parallelism lives *across*
+//! runs, exactly like [`crate::scenario::run_replicas`] but generalised
+//! to a grid of `variants × seeds` and to a merged statistical summary.
+//! Every executor ([`run_campaign`], [`run_campaign_serial`],
+//! [`run_with_threads`]) produces the identical [`CampaignOutcome`]:
+//! reports are collected in plan order no matter which worker finished
+//! first, so the merged summary is independent of thread count and
+//! scheduling.
+
+use crate::report::Grid3Report;
+use crate::scenario::ScenarioConfig;
+use grid3_simkit::stats::{percentile, Summary};
+use serde::{Deserialize, Serialize};
+
+/// One named configuration variant of a campaign (e.g. the SRM ablation
+/// or a resilience-layer overlay of the same window).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignVariant {
+    /// Label carried into the summary.
+    pub name: String,
+    /// The configuration to sweep (its seed is replaced per run).
+    pub cfg: ScenarioConfig,
+}
+
+/// A campaign plan: the cross product of variants and seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignPlan {
+    /// The configuration variants to sweep.
+    pub variants: Vec<CampaignVariant>,
+    /// The seeds each variant runs under.
+    pub seeds: Vec<u64>,
+}
+
+impl CampaignPlan {
+    /// A single-variant plan: one configuration across `seeds`.
+    pub fn single(name: impl Into<String>, cfg: ScenarioConfig, seeds: Vec<u64>) -> Self {
+        CampaignPlan {
+            variants: vec![CampaignVariant {
+                name: name.into(),
+                cfg,
+            }],
+            seeds,
+        }
+    }
+
+    /// Add a variant to the sweep.
+    pub fn with_variant(mut self, name: impl Into<String>, cfg: ScenarioConfig) -> Self {
+        self.variants.push(CampaignVariant {
+            name: name.into(),
+            cfg,
+        });
+        self
+    }
+
+    /// Total runs in the plan.
+    pub fn len(&self) -> usize {
+        self.variants.len() * self.seeds.len()
+    }
+
+    /// True when the plan has no runs.
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty() || self.seeds.is_empty()
+    }
+
+    /// The runs in plan order: variants outermost, seeds innermost.
+    fn runs(&self) -> Vec<(usize, u64, ScenarioConfig)> {
+        let mut out = Vec::with_capacity(self.len());
+        for (vi, v) in self.variants.iter().enumerate() {
+            for &seed in &self.seeds {
+                out.push((vi, seed, v.cfg.clone().with_seed(seed)));
+            }
+        }
+        out
+    }
+}
+
+/// A percentile band of one metric across a variant's runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PercentileBand {
+    /// 5th percentile.
+    pub p5: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Mean across runs.
+    pub mean: f64,
+    /// Smallest run value.
+    pub min: f64,
+    /// Largest run value.
+    pub max: f64,
+}
+
+impl PercentileBand {
+    /// Band a sample set (empty samples give an all-zero band).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &v in samples {
+            s.record(v);
+        }
+        PercentileBand {
+            p5: percentile(samples, 5.0),
+            p25: percentile(samples, 25.0),
+            p50: percentile(samples, 50.0),
+            p75: percentile(samples, 75.0),
+            p95: percentile(samples, 95.0),
+            mean: if samples.is_empty() { 0.0 } else { s.mean() },
+            min: if samples.is_empty() { 0.0 } else { s.min() },
+            max: if samples.is_empty() { 0.0 } else { s.max() },
+        }
+    }
+}
+
+/// The merged statistics of one variant across every seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantSummary {
+    /// The variant's label.
+    pub name: String,
+    /// Seeds run, in plan order.
+    pub seeds: Vec<u64>,
+    /// Completion-efficiency band.
+    pub efficiency: PercentileBand,
+    /// Peak-concurrent-jobs band.
+    pub peak_concurrent: PercentileBand,
+    /// Site-problem failure-fraction band.
+    pub site_problem_fraction: PercentileBand,
+    /// Total delivered data band, TB.
+    pub total_data_tb: PercentileBand,
+    /// Total terminal job records band.
+    pub total_jobs: PercentileBand,
+}
+
+/// The merged campaign summary: one [`VariantSummary`] per variant, in
+/// plan order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Per-variant bands, in plan order.
+    pub variants: Vec<VariantSummary>,
+    /// Total runs merged.
+    pub runs: usize,
+}
+
+/// A finished campaign: every per-run report (grouped by variant, seeds
+/// in plan order) plus the merged summary.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// `reports[v][s]` is variant `v` under the `s`-th seed.
+    pub reports: Vec<Vec<Grid3Report>>,
+    /// The merged percentile-band summary.
+    pub summary: CampaignSummary,
+}
+
+fn merge(plan: &CampaignPlan, flat: Vec<Grid3Report>) -> CampaignOutcome {
+    let per = plan.seeds.len();
+    let mut reports: Vec<Vec<Grid3Report>> = Vec::with_capacity(plan.variants.len());
+    let mut it = flat.into_iter();
+    for _ in &plan.variants {
+        reports.push(it.by_ref().take(per).collect());
+    }
+    let variants = plan
+        .variants
+        .iter()
+        .zip(&reports)
+        .map(|(v, group)| {
+            let metric = |f: &dyn Fn(&Grid3Report) -> f64| {
+                let samples: Vec<f64> = group.iter().map(f).collect();
+                PercentileBand::from_samples(&samples)
+            };
+            VariantSummary {
+                name: v.name.clone(),
+                seeds: plan.seeds.clone(),
+                efficiency: metric(&|r| r.metrics.overall_efficiency),
+                peak_concurrent: metric(&|r| r.metrics.peak_concurrent_jobs),
+                site_problem_fraction: metric(&|r| r.metrics.site_problem_fraction),
+                total_data_tb: metric(&|r| r.metrics.total_data.as_tb_f64()),
+                total_jobs: metric(&|r| r.total_jobs as f64),
+            }
+        })
+        .collect();
+    CampaignOutcome {
+        summary: CampaignSummary {
+            variants,
+            runs: reports.iter().map(Vec::len).sum(),
+        },
+        reports,
+    }
+}
+
+/// Run the whole plan **in parallel** with Rayon (one simulation per
+/// worker; reports come back in plan order regardless of completion
+/// order) and merge the summary.
+pub fn run_campaign(plan: &CampaignPlan) -> CampaignOutcome {
+    use rayon::prelude::*;
+    let flat: Vec<Grid3Report> = plan
+        .runs()
+        .par_iter()
+        .map(|(_, _, cfg)| cfg.run())
+        .collect();
+    merge(plan, flat)
+}
+
+/// Run the whole plan serially (the reference executor the parallel
+/// paths are tested against).
+pub fn run_campaign_serial(plan: &CampaignPlan) -> CampaignOutcome {
+    let flat: Vec<Grid3Report> = plan.runs().iter().map(|(_, _, cfg)| cfg.run()).collect();
+    merge(plan, flat)
+}
+
+/// Run the plan on exactly `threads` OS threads (Rayon sizes itself from
+/// the machine; benchmarks and the thread-independence tests need the
+/// count pinned). Workers pull runs from a shared cursor and write each
+/// report into its plan-order slot, so the outcome is identical for any
+/// thread count.
+pub fn run_with_threads(plan: &CampaignPlan, threads: usize) -> CampaignOutcome {
+    let runs = plan.runs();
+    let n = runs.len();
+    let threads = threads.max(1).min(n.max(1));
+    let slots: Vec<parking_lot::Mutex<Option<Grid3Report>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let report = runs[i].2.run();
+                *slots[i].lock() = Some(report);
+            });
+        }
+    });
+    let flat: Vec<Grid3Report> = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every slot filled"))
+        .collect();
+    merge(plan, flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScenarioConfig {
+        ScenarioConfig::sc2003()
+            .with_scale(0.004)
+            .with_days(5)
+            .with_demo(false)
+    }
+
+    #[test]
+    fn band_percentiles_are_ordered() {
+        let b = PercentileBand::from_samples(&[5.0, 1.0, 4.0, 2.0, 3.0]);
+        assert!(b.p5 <= b.p25 && b.p25 <= b.p50 && b.p50 <= b.p75 && b.p75 <= b.p95);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.p50, 3.0);
+        assert!((b.mean - 3.0).abs() < 1e-12);
+        let empty = PercentileBand::from_samples(&[]);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.p50, 0.0);
+    }
+
+    #[test]
+    fn plan_enumerates_variants_times_seeds() {
+        let plan = CampaignPlan::single("base", tiny(), vec![1, 2, 3])
+            .with_variant("srm", tiny().with_srm(true));
+        assert_eq!(plan.len(), 6);
+        let runs = plan.runs();
+        assert_eq!(runs[0].0, 0);
+        assert_eq!(runs[3].0, 1);
+        assert_eq!(runs[4].1, 2);
+    }
+
+    #[test]
+    fn variant_bands_reflect_their_configs() {
+        let plan = CampaignPlan::single("base", tiny(), vec![1, 2])
+            .with_variant("srm", tiny().with_srm(true));
+        let outcome = run_campaign(&plan);
+        assert_eq!(outcome.summary.variants.len(), 2);
+        assert_eq!(outcome.summary.runs, 4);
+        for v in &outcome.summary.variants {
+            assert!(v.efficiency.mean > 0.0 && v.efficiency.mean <= 1.0);
+            assert!(v.total_jobs.min > 0.0);
+        }
+    }
+}

@@ -1,1756 +1,252 @@
-//! The whole-grid discrete-event simulation.
+//! The whole-grid discrete-event simulation engine.
 //!
-//! One [`Simulation`] wires together the 27-site topology, the VDT
-//! middleware stack, the iGOC, the monitoring framework and the
-//! calibrated application workloads, then processes events until the
-//! horizon. The job lifecycle is §6.1's: gatekeeper submission →
-//! pre-stage → batch queue → execution → post-stage to the VO archive →
-//! RLS registration, and a job only counts as completed when *every* step
-//! succeeded.
+//! [`Grid3Engine`] is deliberately thin: it owns the clock (via the
+//! event queue), the typed event router, and the five subsystem services
+//! it routes between — [`Brokering`], [`Staging`], [`Execution`],
+//! [`FaultHandling`] and [`Reporting`] — plus the
+//! shared [`GridFabric`] status board they all consult. Assembly (the §5
+//! deployment pipeline) lives in [`crate::subsystems::assembly`];
+//! everything domain-specific lives in the subsystems.
 //!
-//! Failure semantics follow §6: incidents arrive per-site in correlated
-//! bursts (disk-full, service crash, WAN cut, the ACDC nightly rollover),
-//! killing whole groups of jobs at once; a small per-job random loss and
-//! a misconfiguration residue (elevated at sites whose latent fault
-//! evaded certification) covers the rest.
+//! The job lifecycle is §6.1's: gatekeeper submission → pre-stage →
+//! batch queue → execution → post-stage to the VO archive → RLS
+//! registration, and a job only counts as completed when *every* step
+//! succeeded. Failure semantics follow §6: incidents arrive per-site in
+//! correlated bursts (disk-full, service crash, WAN cut, the ACDC
+//! nightly rollover), killing whole groups of jobs at once; a small
+//! per-job random loss and a misconfiguration residue covers the rest.
+//!
+//! # Routing and bit-reproducibility
+//!
+//! Two kinds of event flow through the router:
+//!
+//! * **Timed** events go through the [`EventQueue`] exactly as in the
+//!   pre-split engine: same labels, same FIFO tie-breaking, same
+//!   profiled pops.
+//! * **Immediate** events (emitted with
+//!   [`EngineCtx::emit`](crate::subsystems::EngineCtx::emit)) replace
+//!   the former direct cross-subsystem method calls. The router drains
+//!   them depth-first in emission order before advancing the queue, so
+//!   the sequence of state changes — and with it every RNG draw and
+//!   every queue insertion — is bit-identical to the monolith's
+//!   synchronous call chains. The golden-hash determinism suite holds
+//!   the engine to that.
 
-use crate::broker::Broker;
-use crate::resilience::{ResilienceLayer, SiteState, SiteStateLedger};
 use crate::scenario::ScenarioConfig;
 use crate::topology::Topology;
-use grid3_apps::demonstrators::EntradaDemo;
-use grid3_apps::workloads::Submission;
 use grid3_igoc::center::OperationsCenter;
-use grid3_igoc::tickets::{TicketKind, TicketStatus};
 use grid3_middleware::gram::Gatekeeper;
-use grid3_middleware::gridftp::{GridFtp, TransferRequest};
+use grid3_middleware::gridftp::GridFtp;
 use grid3_middleware::gsi::CertificateAuthority;
-use grid3_middleware::mds::GlueRecord;
 use grid3_middleware::rls::ReplicaLocationService;
-use grid3_middleware::voms::{VoRole, VomsServer};
+use grid3_middleware::voms::VomsServer;
 use grid3_monitoring::acdc::AcdcJobMonitor;
-use grid3_monitoring::framework::MetricSink;
-use grid3_monitoring::ganglia::GangliaAgent;
 use grid3_monitoring::mdviewer::MdViewer;
-use grid3_monitoring::monalisa::MonAlisaAgent;
-use grid3_monitoring::trace::{TraceEvent, TraceStore};
-use grid3_simkit::engine::{EventLabel, EventQueue};
-use grid3_simkit::ids::{FileId, FileIdGen, JobId, JobIdGen, SiteId, TransferId, UserId};
-use grid3_simkit::rng::SimRng;
+use grid3_monitoring::trace::TraceStore;
+use grid3_simkit::engine::EventQueue;
 use grid3_simkit::series::GaugeTracker;
-use grid3_simkit::telemetry::{SpanId, Telemetry};
-use grid3_simkit::time::{SimDuration, SimTime};
+use grid3_simkit::telemetry::Telemetry;
+use grid3_simkit::time::SimTime;
 use grid3_simkit::units::Bytes;
 use grid3_site::cluster::Site;
-use grid3_site::failure::FailureEvent;
-use grid3_site::job::{FailureCause, JobOutcome, JobRecord, JobSpec};
-use grid3_site::scheduler::QueuedJob;
-use grid3_site::storage::ReservationId;
-use grid3_site::vo::Vo;
-use grid3_workflow::dag::NodeId as DagNodeId;
-use grid3_workflow::dagman::{DagManager, DagState, FailureAction};
-use grid3_workflow::mop::{CmsTask, McRunJob, ProductionRequest};
-use std::collections::HashMap;
+use grid3_workflow::dagman::DagState;
 
-/// Sentinel transfer id for "no transfer was needed".
-const NO_TRANSFER: TransferId = TransferId(u32::MAX);
+use crate::resilience::{ResilienceLayer, SiteStateLedger};
+use crate::subsystems::brokering::Brokering;
+use crate::subsystems::execution::Execution;
+use crate::subsystems::fault::FaultHandling;
+use crate::subsystems::reporting::Reporting;
+use crate::subsystems::staging::Staging;
+use crate::subsystems::{EngineCtx, GridEvent, GridFabric, Subsystem};
 
-/// Base backoff before a failed campaign node is resubmitted (§4.2 DAGMan
-/// retry semantics). Doubles with each consecutive failure of the node, so
-/// a 5-retry budget spans ~31 h — longer than the worst §6.2 disk-full
-/// cleanup (up to 20 h) that would otherwise eat every retry.
-const CAMPAIGN_RETRY_BASE_DELAY: SimDuration = SimDuration::from_mins(30);
-
-/// Events driving the grid simulation.
-#[derive(Debug, Clone)]
-enum Event {
-    /// A workload submission reaches the broker (with its VO affinity).
-    Submit(Box<Submission>, f64),
-    /// A job's stage-in transfer finished.
-    StageInDone(JobId, TransferId),
-    /// A job's execution reached its predetermined end.
-    ExecutionEnds(JobId),
-    /// A job's stage-out transfer finished.
-    StageOutDone(JobId, TransferId),
-    /// Try to dispatch queued work at a site.
-    TryDispatch(SiteId),
-    /// A site incident fires.
-    Incident(SiteId, FailureEvent),
-    /// Grid services restored after a crash.
-    ServiceRestore(SiteId),
-    /// WAN restored after a cut.
-    NetworkRestore(SiteId),
-    /// Worker nodes back after a rollover.
-    NodesRestore(SiteId),
-    /// Operators reclaimed external disk usage.
-    DiskCleanup(SiteId, Bytes),
-    /// One Entrada transfer-matrix round.
-    EntradaRound,
-    /// A demo transfer finished.
-    DemoTransferDone(TransferId),
-    /// Periodic monitoring sweep (GRIS republish, agents, probes).
-    MonitorTick,
-    /// Release ready nodes of a DAG campaign (index into `campaigns`).
-    CampaignTick(usize),
-    /// Re-broker a job whose placement hit a transient failure, after
-    /// its GRAM retry backoff elapsed.
-    RetryPlace(JobId),
-    /// A failure-storm ticket's repair lands: re-validate the site.
-    SiteRepaired(SiteId),
+/// The assembled grid: clock + event router + the five routed subsystem
+/// services + the shared fabric (see the module docs).
+pub struct Grid3Engine {
+    pub(crate) ctx: EngineCtx,
+    pub(crate) fabric: GridFabric,
+    pub(crate) brokering: Brokering,
+    pub(crate) staging: Staging,
+    pub(crate) execution: Execution,
+    pub(crate) fault: FaultHandling,
+    pub(crate) reporting: Reporting,
 }
 
-impl EventLabel for Event {
-    fn label(&self) -> &'static str {
-        match self {
-            Event::Submit(..) => "submit",
-            Event::StageInDone(..) => "stage_in_done",
-            Event::ExecutionEnds(..) => "execution_ends",
-            Event::StageOutDone(..) => "stage_out_done",
-            Event::TryDispatch(..) => "try_dispatch",
-            Event::Incident(..) => "incident",
-            Event::ServiceRestore(..) => "service_restore",
-            Event::NetworkRestore(..) => "network_restore",
-            Event::NodesRestore(..) => "nodes_restore",
-            Event::DiskCleanup(..) => "disk_cleanup",
-            Event::EntradaRound => "entrada_round",
-            Event::DemoTransferDone(..) => "demo_transfer_done",
-            Event::MonitorTick => "monitor_tick",
-            Event::CampaignTick(..) => "campaign_tick",
-            Event::RetryPlace(..) => "retry_place",
-            Event::SiteRepaired(..) => "site_repaired",
-        }
-    }
-}
+/// The historical name of the engine, kept for call sites and prose that
+/// talk about "the simulation".
+pub type Simulation = Grid3Engine;
 
-/// Phase of an active job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    StagingIn,
-    Queued,
-    Running,
-    StagingOut,
-}
-
-/// How a running job is predetermined to end.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ExecutionFate {
-    /// Completes its work; proceeds to stage-out.
-    Success,
-    /// Dies of uncorrelated random loss (§6.2 "few random job losses").
-    RandomLoss,
-    /// Batch system kills it at the walltime limit.
-    Walltime,
-    /// Trips a latent site misconfiguration shortly after starting.
-    Misconfig,
-}
-
-#[derive(Debug, Clone)]
-struct ActiveJob {
-    spec: JobSpec,
-    site: SiteId,
-    submitted: SimTime,
-    started: Option<SimTime>,
-    phase: Phase,
-    fate: ExecutionFate,
-    exec_duration: SimDuration,
-    transferred: Bytes,
-    reservation: Option<ReservationId>,
-    archive_reservation: Option<ReservationId>,
-    scratch_lfn: Option<FileId>,
-}
-
-/// What an in-flight transfer is for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TransferPurpose {
-    JobStageIn(JobId),
-    JobStageOut(JobId),
-    Demo,
-}
-
-/// The assembled grid.
-pub struct Simulation {
-    cfg: ScenarioConfig,
-    topo: Topology,
-    queue: EventQueue<Event>,
-    /// The sites, indexed by `SiteId`.
-    pub sites: Vec<Site>,
-    /// Per-site gatekeepers.
-    pub gatekeepers: Vec<Gatekeeper>,
-    /// The GridFTP fabric.
-    pub gridftp: GridFtp,
-    /// The replica location service.
-    pub rls: ReplicaLocationService,
-    /// The operations center (MDS, status catalog, tickets, …).
-    pub center: OperationsCenter,
-    /// Per-VO VOMS servers.
-    pub voms: Vec<VomsServer>,
-    /// The DOEGrids-style CA.
-    pub ca: CertificateAuthority,
-    /// The ACDC job-record database (Table 1 source).
-    pub acdc: AcdcJobMonitor,
-    /// The metrics viewer (figure source).
-    pub viewer: MdViewer,
-    /// Concurrent-running-jobs gauge (§7 peak metric).
-    pub job_gauge: GaugeTracker,
-    /// The §8 troubleshooting/accounting trace store (submit-side ↔
-    /// execution-side id linkage, per-user accounting).
-    pub traces: TraceStore,
-    /// The grid-wide instrumentation layer. A disabled handle (the
-    /// default) makes every record call a no-op branch.
-    pub telemetry: Telemetry,
-    jobs: HashMap<JobId, ActiveJob>,
-    /// Open engine-level "job" spans (submit → terminal record).
-    job_spans: HashMap<JobId, SpanId>,
-    /// Open gatekeeper spans (accepted → resources released).
-    gram_spans: HashMap<JobId, SpanId>,
-    /// Open GridFTP transfer spans (start → complete/failure).
-    transfer_spans: HashMap<TransferId, SpanId>,
-    /// Open DAGMan node spans (released → outcome fed back).
-    dagman_spans: HashMap<JobId, SpanId>,
-    job_ids: JobIdGen,
-    lfns: FileIdGen,
-    transfer_purpose: HashMap<TransferId, TransferPurpose>,
-    broker: Broker,
-    broker_rng: SimRng,
-    fate_rng: SimRng,
-    demo: Option<EntradaDemo>,
-    campaigns: Vec<(String, DagManager<CmsTask>)>,
-    campaign_job_map: HashMap<JobId, (usize, DagNodeId)>,
-    /// Per-node retry backoff: a node listed here stays Ready but is not
-    /// resubmitted before the stored time, even if another tick fires first.
-    campaign_hold: HashMap<(usize, DagNodeId), SimTime>,
-    /// The adaptive fault-handling layer (`None` for baseline runs).
-    pub resilience: Option<ResilienceLayer>,
-    /// Completion accounting bucketed by site operational state at finish
-    /// time — the §7 m-eff split's source.
-    pub site_ledger: SiteStateLedger,
-    /// Jobs waiting out a retry backoff before re-brokering:
-    /// `(spec, vo_affinity, attempts already made)`.
-    retry_state: HashMap<JobId, (JobSpec, f64, u32)>,
-    /// Jobs whose broker found no eligible site.
-    pub unplaced_jobs: u64,
-    /// Total bytes delivered by completed (and partially by failed)
-    /// transfers.
-    pub bytes_delivered: Bytes,
-    events_processed: u64,
-}
-
-impl Simulation {
+impl Grid3Engine {
     /// Assemble the grid for `cfg`: build the topology, onboard every
     /// site through the iGOC pipeline, register users with VOMS/GSI/AUP,
     /// schedule workloads, demo rounds, failure incidents and monitor
     /// ticks.
     pub fn new(cfg: ScenarioConfig) -> Self {
-        let topo = crate::topology::grid3_topology();
-        let mut sites = topo.build_sites();
-        let mut center = OperationsCenter::new(cfg.pipeline.clone());
-        // GRIS records must outlive the republish period or every broker
-        // query sees an empty grid.
-        center.mds.set_ttl(cfg.monitor_interval * 2);
-        let mut queue: EventQueue<Event> = EventQueue::new();
+        crate::subsystems::assembly::assemble(cfg)
+    }
 
-        // Onboard every site (§5.1). Sites whose latent fault evaded
-        // certification run with elevated misconfiguration rates (§6.2).
-        for site in sites.iter_mut() {
-            let mut rng = SimRng::for_label(cfg.seed, &format!("onboard/{}", site.profile.name));
-            let outcome = center.onboard_site(site, SimTime::EPOCH, &mut rng);
-            site.validated = outcome.validated_clean;
-        }
-
-        // The instrumentation layer: one shared handle threaded through
-        // every subsystem. Disabled unless the scenario opts in.
-        let telemetry = if cfg.telemetry {
-            Telemetry::enabled()
-        } else {
-            Telemetry::disabled()
-        };
-        center.mds.set_telemetry(telemetry.clone());
-        for site in sites.iter_mut() {
-            site.scheduler
-                .set_telemetry(telemetry.clone(), format!("site{}", site.id.0));
-        }
-
-        // Gatekeepers and the transfer fabric.
-        let mut gatekeepers: Vec<Gatekeeper> =
-            sites.iter().map(|s| Gatekeeper::new(s.id)).collect();
-        for gk in gatekeepers.iter_mut() {
-            gk.set_telemetry(telemetry.clone());
-        }
-        let mut gridftp = GridFtp::new(sites.iter().map(|s| (s.id, s.profile.wan_bandwidth)));
-        gridftp.set_telemetry(telemetry.clone());
-        let mut rls = ReplicaLocationService::new();
-        rls.set_telemetry(telemetry.clone());
-
-        // Users: register each class's population in its VO's VOMS server,
-        // issue certificates, accept the AUP (§5.3, §5.4).
-        let mut ca = CertificateAuthority::new("/DC=org/DC=doegrids/CN=DOEGrids CA 1");
-        let mut voms: Vec<VomsServer> = Vo::ALL.iter().map(|vo| VomsServer::new(*vo)).collect();
-        let workloads = cfg.scaled_workloads();
-        let mut next_user = 0u32;
-        let mut first_users = Vec::with_capacity(workloads.len());
-        for w in &workloads {
-            first_users.push(UserId(next_user));
-            for i in 0..w.users {
-                let user = UserId(next_user + i);
-                let dn = format!("/CN={} user {}", w.class.name(), i);
-                let role = if i == 0 {
-                    VoRole::AppAdmin
-                } else {
-                    VoRole::Member
-                };
-                let server = voms
-                    .iter_mut()
-                    .find(|s| s.vo == w.class.vo())
-                    .expect("server per VO");
-                server.register(user, dn.clone(), role, SimTime::EPOCH);
-                ca.issue(user, dn, SimTime::from_days(730));
-                center.aup.accept(user, SimTime::EPOCH);
+    /// Run to the horizon.
+    pub fn run(&mut self) {
+        let horizon = self.fabric.cfg.horizon();
+        while let Some(at) = self.ctx.queue.peek_time() {
+            if at >= horizon {
+                break;
             }
-            next_user += w.users;
+            let (now, event) = self
+                .ctx
+                .queue
+                .pop_profiled(&self.ctx.telemetry)
+                .expect("peeked");
+            self.dispatch(now, event);
         }
-        // The iGOC operations staff also hold grid credentials (under the
-        // iVDGL VO), bringing the authorized-user population to the §7
-        // figure of 102.
-        for i in 0..7 {
-            let user = UserId(next_user + i);
-            let dn = format!("/CN=iGOC operator {i}");
-            let server = voms
-                .iter_mut()
-                .find(|s| s.vo == Vo::Ivdgl)
-                .expect("iVDGL server");
-            server.register(user, dn.clone(), VoRole::VoAdmin, SimTime::EPOCH);
-            ca.issue(user, dn, SimTime::from_days(730));
-            center.aup.accept(user, SimTime::EPOCH);
-        }
+        self.fabric.drain_netlogger();
+    }
 
-        // Schedule every workload submission inside the horizon.
-        for (w, first_user) in workloads.iter().zip(&first_users) {
-            let mut rng = SimRng::for_label(cfg.seed, &format!("workload/{}", w.class.name()));
-            for sub in w.schedule(&mut rng, *first_user) {
-                if sub.at < cfg.horizon() {
-                    queue.schedule_at(sub.at, Event::Submit(Box::new(sub), w.vo_affinity));
-                }
+    /// The typed router: hand the event to its subsystem, then drain the
+    /// immediates it emitted depth-first in emission order (see the
+    /// module docs for why that reproduces the monolith bit-for-bit).
+    fn dispatch(&mut self, now: SimTime, event: GridEvent) {
+        match event {
+            GridEvent::Brokering(e) => {
+                self.brokering
+                    .handle(now, e, &mut self.ctx, &mut self.fabric)
             }
-        }
-
-        // With the resilience layer on, sites also suffer ongoing
-        // configuration drift (§6.2's regressions after validation) at
-        // the layer's churn MTBF — giving the feedback loop a steady
-        // stream of faults to catch. Applied before schedule sampling so
-        // the drift events land in each site's incident stream.
-        if let Some(rcfg) = &cfg.resilience {
-            for site in sites.iter_mut() {
-                site.profile.failures = site
-                    .profile
-                    .failures
-                    .clone()
-                    .with_misconfig_churn(rcfg.churn_mtbf);
+            GridEvent::Staging(e) => self.staging.handle(now, e, &mut self.ctx, &mut self.fabric),
+            GridEvent::Execution(e) => {
+                self.execution
+                    .handle(now, e, &mut self.ctx, &mut self.fabric)
             }
-        }
-
-        // Failure incidents per site.
-        for site in &sites {
-            let mut rng = SimRng::for_label(cfg.seed, &format!("failures/{}", site.profile.name));
-            for incident in site.profile.failures.sample_schedule(
-                &mut rng,
-                SimTime::EPOCH,
-                cfg.horizon().since(SimTime::EPOCH),
-            ) {
-                queue.schedule_at(incident.at(), Event::Incident(site.id, incident));
+            GridEvent::Fault(e) => self.fault.handle(now, e, &mut self.ctx, &mut self.fabric),
+            GridEvent::Reporting(e) => {
+                self.reporting
+                    .handle(now, e, &mut self.ctx, &mut self.fabric)
             }
+            // Emitted as a *trailing* immediate so the inner event's queue
+            // insertion lands after the cascade's — preserving FIFO order.
+            GridEvent::Timer(at, inner) => self.ctx.queue.schedule_at(at, *inner),
         }
-
-        // Correlated multi-site outage storms: every listed site's grid
-        // services crash at the same instant.
-        for storm in &cfg.storms {
-            let at = SimTime::from_days(storm.day) + SimDuration::from_hours(storm.hour);
-            if at >= cfg.horizon() {
-                continue;
+        if !self.ctx.immediates.is_empty() {
+            let batch = std::mem::take(&mut self.ctx.immediates);
+            for ev in batch {
+                self.dispatch(now, ev);
             }
-            let outage = SimDuration::from_hours(storm.outage_hours);
-            for raw in &storm.sites {
-                let site = SiteId(*raw);
-                if site.index() < sites.len() {
-                    queue.schedule_at(
-                        at,
-                        Event::Incident(site, FailureEvent::ServiceCrash { at, outage }),
-                    );
-                }
-            }
-        }
-
-        // The Entrada GridFTP demonstrator (§4.7, §6.3): a matrix over the
-        // best-connected persistent sites, hourly, sized for the paper's
-        // 2 TB/day goal.
-        let demo = if cfg.include_demo {
-            let mut ranked: Vec<&Site> = sites
-                .iter()
-                .filter(|s| topo.specs[s.id.index()].offline_after_day.is_none())
-                .filter(|s| topo.specs[s.id.index()].online_from_day == 0)
-                .collect();
-            ranked.sort_by(|a, b| {
-                b.profile
-                    .wan_bandwidth
-                    .as_bytes_per_sec()
-                    .total_cmp(&a.profile.wan_bandwidth.as_bytes_per_sec())
-                    .then_with(|| a.id.cmp(&b.id))
-            });
-            let chosen: Vec<SiteId> = ranked.iter().take(cfg.demo_sites).map(|s| s.id).collect();
-            let demo = EntradaDemo::sized_for_daily_target(
-                chosen,
-                SimDuration::from_hours(1),
-                Bytes::from_tb(cfg.demo_daily_target_tb),
-            );
-            queue.schedule_at(
-                SimTime::EPOCH + SimDuration::from_mins(30),
-                Event::EntradaRound,
-            );
-            Some(demo)
-        } else {
-            None
-        };
-
-        // DAG-shaped production campaigns (§4.2): MCRunJob writes the
-        // chains; a DAGMan instance per campaign releases work into the
-        // grid as dependencies complete.
-        let mut mc = McRunJob::new();
-        let mut campaigns = Vec::with_capacity(cfg.campaigns.len());
-        for (i, spec) in cfg.campaigns.iter().enumerate() {
-            let dag = mc.write_dag(&ProductionRequest {
-                dataset: spec.dataset.clone(),
-                events: spec.events,
-                events_per_job: spec.events_per_job,
-                simulator: spec.simulator,
-                operator: UserId(0),
-            });
-            let mut mgr = DagManager::new(dag, spec.retries, spec.throttle);
-            mgr.set_telemetry(telemetry.clone());
-            campaigns.push((spec.dataset.clone(), mgr));
-            queue.schedule_at(SimTime::from_days(spec.submit_day), Event::CampaignTick(i));
-        }
-
-        // Monitoring sweeps.
-        queue.schedule_at(SimTime::EPOCH, Event::MonitorTick);
-
-        let days = cfg.days as usize;
-        let viewer = MdViewer::new(SimTime::EPOCH, days);
-        let resilience = cfg
-            .resilience
-            .clone()
-            .map(|rc| ResilienceLayer::new(rc, sites.len()));
-        Simulation {
-            resilience,
-            broker_rng: SimRng::for_entity(cfg.seed, 0xB0B),
-            fate_rng: SimRng::for_entity(cfg.seed, 0xFA7E),
-            cfg,
-            topo,
-            queue,
-            sites,
-            gatekeepers,
-            gridftp,
-            rls,
-            center,
-            voms,
-            ca,
-            acdc: AcdcJobMonitor::new(),
-            viewer,
-            job_gauge: GaugeTracker::new(SimTime::EPOCH),
-            traces: TraceStore::new(),
-            telemetry,
-            jobs: HashMap::new(),
-            job_spans: HashMap::new(),
-            gram_spans: HashMap::new(),
-            transfer_spans: HashMap::new(),
-            dagman_spans: HashMap::new(),
-            job_ids: JobIdGen::new(),
-            lfns: FileIdGen::new(),
-            transfer_purpose: HashMap::new(),
-            broker: Broker::default(),
-            demo,
-            campaigns,
-            campaign_job_map: HashMap::new(),
-            campaign_hold: HashMap::new(),
-            unplaced_jobs: 0,
-            site_ledger: SiteStateLedger::default(),
-            retry_state: HashMap::new(),
-            bytes_delivered: Bytes::ZERO,
-            events_processed: 0,
         }
     }
 
+    // ----- read-only accessors ----------------------------------------
+    //
+    // Everything outside the engine observes the grid through these; all
+    // mutation goes through events.
+
     /// The configuration in force.
     pub fn config(&self) -> &ScenarioConfig {
-        &self.cfg
+        &self.fabric.cfg
     }
 
     /// The topology in force.
     pub fn topology(&self) -> &Topology {
-        &self.topo
+        &self.fabric.topo
     }
 
-    /// Events processed so far.
+    /// Events processed so far (timed queue pops; routed immediates are
+    /// internal and not counted, matching the pre-split engine).
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.ctx.queue.processed()
     }
 
     /// Jobs currently tracked (not yet terminal), including jobs parked
     /// in a retry backoff awaiting re-brokering.
     pub fn active_jobs(&self) -> usize {
-        self.jobs.len() + self.retry_state.len()
+        self.fabric.jobs.len() + self.brokering.parked_jobs()
     }
 
-    /// Run to the horizon.
-    pub fn run(&mut self) {
-        let horizon = self.cfg.horizon();
-        while let Some(at) = self.queue.peek_time() {
-            if at >= horizon {
-                break;
-            }
-            let (now, event) = self.queue.pop_profiled(&self.telemetry).expect("peeked");
-            self.events_processed += 1;
-            self.handle(now, event);
-        }
-        self.drain_netlogger();
+    /// The sites, indexed by `SiteId`.
+    pub fn sites(&self) -> &[Site] {
+        &self.fabric.sites
     }
 
-    /// Ship the GridFTP NetLogger event stream to the iGOC archive
-    /// (§4.7's central collection point).
-    fn drain_netlogger(&mut self) {
-        let events = self.gridftp.drain_log();
-        self.center.netlogger.ingest_all(events.iter());
+    /// Per-site gatekeepers.
+    pub fn gatekeepers(&self) -> &[Gatekeeper] {
+        &self.fabric.gatekeepers
     }
 
-    // ----- event handling ---------------------------------------------
-
-    fn handle(&mut self, now: SimTime, event: Event) {
-        match event {
-            Event::Submit(sub, affinity) => self.on_submit(now, *sub, affinity),
-            Event::StageInDone(job, xfer) => self.on_stage_in_done(now, job, xfer),
-            Event::ExecutionEnds(job) => self.on_execution_ends(now, job),
-            Event::StageOutDone(job, xfer) => self.on_stage_out_done(now, job, xfer),
-            Event::TryDispatch(site) => self.dispatch_site(now, site),
-            Event::Incident(site, incident) => self.on_incident(now, site, incident),
-            Event::ServiceRestore(site) => {
-                self.sites[site.index()].service_up = true;
-                self.gatekeepers[site.index()].restart();
-                self.gridftp
-                    .set_link_up(site, self.sites[site.index()].network_up);
-                self.resolve_site_tickets(site, now);
-                if let Some(r) = &mut self.resilience {
-                    r.reinstate(site, now);
-                }
-                self.queue.schedule_at(now, Event::TryDispatch(site));
-            }
-            Event::NetworkRestore(site) => {
-                self.sites[site.index()].network_up = true;
-                self.gridftp
-                    .set_link_up(site, self.sites[site.index()].service_up);
-                self.resolve_site_tickets(site, now);
-                if let Some(r) = &mut self.resilience {
-                    r.reinstate(site, now);
-                }
-            }
-            Event::NodesRestore(site) => {
-                self.sites[site.index()].nodes_back_up();
-                self.queue.schedule_at(now, Event::TryDispatch(site));
-            }
-            Event::DiskCleanup(site, bytes) => {
-                self.sites[site.index()].storage.reclaim_external(bytes);
-                self.resolve_site_tickets(site, now);
-                if let Some(r) = &mut self.resilience {
-                    r.reinstate(site, now);
-                }
-                self.queue.schedule_at(now, Event::TryDispatch(site));
-            }
-            Event::EntradaRound => self.on_entrada_round(now),
-            Event::DemoTransferDone(xfer) => self.on_demo_transfer_done(now, xfer),
-            Event::MonitorTick => self.on_monitor_tick(now),
-            Event::CampaignTick(idx) => self.on_campaign_tick(now, idx),
-            Event::RetryPlace(job) => {
-                if let Some((spec, affinity, attempt)) = self.retry_state.remove(&job) {
-                    self.try_place(now, job, spec, affinity, attempt);
-                }
-            }
-            Event::SiteRepaired(site) => self.on_site_repaired(now, site),
-        }
+    /// The GridFTP fabric.
+    pub fn gridftp(&self) -> &GridFtp {
+        &self.fabric.gridftp
     }
 
-    /// A failure-storm repair lands: resolve the ticket, re-validate the
-    /// site into the low-failure *repaired* regime, lift every ban.
-    fn on_site_repaired(&mut self, now: SimTime, site: SiteId) {
-        let Some(r) = &mut self.resilience else {
-            return;
-        };
-        let Some(ticket) = r.finish_repair(site) else {
-            return;
-        };
-        self.center.tickets.resolve(ticket, now);
-        let s = &mut self.sites[site.index()];
-        s.validated = true;
-        s.repaired = true;
-        self.telemetry
-            .counter_add("resilience", "repair", format!("site{}", site.0), 1);
-        self.queue.schedule_at(now, Event::TryDispatch(site));
+    /// The replica location service.
+    pub fn rls(&self) -> &ReplicaLocationService {
+        &self.fabric.rls
     }
 
-    fn on_submit(&mut self, now: SimTime, sub: Submission, affinity: f64) {
-        self.submit_spec(now, sub.spec, affinity, None);
+    /// The operations center (MDS, status catalog, tickets, …).
+    pub fn center(&self) -> &OperationsCenter {
+        &self.fabric.center
     }
 
-    /// Submit one job specification through the full §6.1 pipeline.
-    /// `campaign` tags jobs owned by a DAG campaign so terminal outcomes
-    /// feed back into its DAGMan instance.
-    fn submit_spec(
-        &mut self,
-        now: SimTime,
-        spec: JobSpec,
-        affinity: f64,
-        campaign: Option<(usize, DagNodeId)>,
-    ) -> JobId {
-        let job = self.job_ids.next_id();
-        if let Some(tag) = campaign {
-            self.campaign_job_map.insert(job, tag);
-        }
-        self.traces.open(job, spec.class, spec.user, now);
-        // Engine-level lifecycle span, linked by the TraceStore job id;
-        // closed by `finish_job_record` for every terminal path.
-        if self.telemetry.is_enabled() {
-            let span = self
-                .telemetry
-                .span_enter(now, "engine", "job", Some(u64::from(job.0)));
-            self.job_spans.insert(job, span);
-        }
-        self.try_place(now, job, spec, affinity, 0);
-        job
+    /// Per-VO VOMS servers.
+    pub fn voms(&self) -> &[VomsServer] {
+        &self.fabric.voms
     }
 
-    /// Whether a transient placement failure on `attempt` gets another
-    /// try under the resilience layer's retry policy.
-    fn can_retry(&self, attempt: u32) -> bool {
-        self.resilience
-            .as_ref()
-            .is_some_and(|r| r.config().retry.allows(attempt))
+    /// The DOEGrids-style CA.
+    pub fn ca(&self) -> &CertificateAuthority {
+        &self.fabric.ca
     }
 
-    /// Park a job for re-brokering after its backoff (deterministically
-    /// jittered per job+attempt so synchronized refusals decorrelate).
-    fn schedule_retry(
-        &mut self,
-        now: SimTime,
-        job: JobId,
-        spec: JobSpec,
-        affinity: f64,
-        attempt: u32,
-    ) {
-        let delay = self
-            .resilience
-            .as_ref()
-            .expect("retry implies resilience")
-            .config()
-            .retry
-            .delay(attempt, u64::from(job.0));
-        self.retry_state.insert(job, (spec, affinity, attempt + 1));
-        self.queue.schedule_at(now + delay, Event::RetryPlace(job));
-        if let Some(r) = &mut self.resilience {
-            r.retries_scheduled += 1;
-        }
-        self.telemetry.counter_add("resilience", "retry", "gram", 1);
+    /// The ACDC job-record database (Table 1 source).
+    pub fn acdc(&self) -> &AcdcJobMonitor {
+        &self.reporting.acdc
     }
 
-    /// One placement attempt: broker (consulting the blacklist) →
-    /// gatekeeper → reservations → stage-in. Transient failures re-enter
-    /// through [`Event::RetryPlace`] until the retry budget runs out.
-    fn try_place(&mut self, now: SimTime, job: JobId, spec: JobSpec, affinity: f64, attempt: u32) {
-        // Candidate records: fresh in MDS and currently online.
-        let records = self.center.mds.fresh_records(now);
-        let online: Vec<&GlueRecord> = records
-            .into_iter()
-            .filter(|r| self.topo.is_online(r.site, now))
-            .collect();
-        // The health veto from the resilience layer (empty in baseline
-        // runs, so `select_filtered` degenerates to `select`).
-        let banned: Vec<SiteId> = match &self.resilience {
-            Some(r) => online
-                .iter()
-                .map(|rec| rec.site)
-                .filter(|s| r.is_banned(*s, now))
-                .collect(),
-            None => Vec::new(),
-        };
-        let selected =
-            self.broker
-                .select_filtered(&spec, affinity, &online, &mut self.broker_rng, |s| {
-                    banned.contains(&s)
-                });
-        let Some(site) = selected else {
-            // An empty grid view is usually transient (MDS records expired
-            // during a monitoring gap, or every candidate mid-outage):
-            // worth a backoff-retry before declaring the job unplaceable.
-            if self.can_retry(attempt) {
-                self.schedule_retry(now, job, spec, affinity, attempt);
-                return;
-            }
-            self.unplaced_jobs += 1;
-            self.traces
-                .record(job, now, TraceEvent::Failed(FailureCause::NoEligibleSite));
-            self.finish_job_record(
-                now,
-                job,
-                &spec,
-                SiteId(0),
-                now,
-                None,
-                SimDuration::ZERO,
-                Bytes::ZERO,
-                JobOutcome::Failed(FailureCause::NoEligibleSite),
-            );
-            return;
-        };
-
-        self.traces.record(job, now, TraceEvent::Brokered { site });
-
-        // Gatekeeper submission (§6.4 load model). A stale MDS record can
-        // route a job to a site whose services have since crashed.
-        let gram_span = if self.telemetry.is_enabled() {
-            Some(
-                self.telemetry
-                    .span_enter(now, "gram", "manage_job", Some(u64::from(job.0))),
-            )
-        } else {
-            None
-        };
-        if let Err(err) =
-            self.gatekeepers[site.index()].submit(job, spec.staging_load_factor(), now)
-        {
-            if let Some(span) = gram_span {
-                self.telemetry.span_error(now, span);
-            }
-            self.traces.record(job, now, TraceEvent::GatekeeperRefused);
-            // Transient refusals (overload, service down) back off and
-            // re-broker instead of dying on first contact.
-            if err.is_transient() && self.can_retry(attempt) {
-                self.schedule_retry(now, job, spec, affinity, attempt);
-                return;
-            }
-            let cause = match err {
-                grid3_middleware::gram::GramError::Overloaded { .. } => {
-                    FailureCause::GatekeeperOverload
-                }
-                _ => FailureCause::ServiceFailure,
-            };
-            self.traces.record(job, now, TraceEvent::Failed(cause));
-            self.finish_job_record(
-                now,
-                job,
-                &spec,
-                site,
-                now,
-                None,
-                SimDuration::ZERO,
-                Bytes::ZERO,
-                JobOutcome::Failed(cause),
-            );
-            return;
-        }
-        if let Some(span) = gram_span {
-            self.gram_spans.insert(job, span);
-        }
-
-        // Optional SRM-style reservations (the §8 ablation): scratch at
-        // the execution site and output space at the VO archive, both
-        // claimed up-front so later disk-full incidents cannot take the
-        // job down.
-        let vo = spec.class.vo();
-        let archive = self.topo.archive_site(vo);
-        let mut reservation = None;
-        let mut archive_reservation = None;
-        if self.cfg.srm_reservations {
-            let scratch = spec.input_bytes + spec.scratch_bytes;
-            let fail_disk_full = |sim: &mut Self, job| {
-                sim.gatekeepers[site.index()].job_done(job).ok();
-                sim.finish_job_record(
-                    now,
-                    job,
-                    &spec,
-                    site,
-                    now,
-                    None,
-                    SimDuration::ZERO,
-                    Bytes::ZERO,
-                    JobOutcome::Failed(FailureCause::DiskFull),
-                );
-            };
-            match self.sites[site.index()].storage.reserve(scratch) {
-                Ok(r) => reservation = Some(r),
-                Err(_) => {
-                    fail_disk_full(self, job);
-                    return;
-                }
-            }
-            match self.sites[archive.index()]
-                .storage
-                .reserve(spec.output_bytes)
-            {
-                Ok(r) => archive_reservation = Some(r),
-                Err(_) => {
-                    if let Some(r) = reservation {
-                        let _ = self.sites[site.index()].storage.release(r);
-                    }
-                    fail_disk_full(self, job);
-                    return;
-                }
-            }
-        }
-
-        let src = archive;
-        let input = spec.input_bytes;
-        self.jobs.insert(
-            job,
-            ActiveJob {
-                spec,
-                site,
-                submitted: now,
-                started: None,
-                phase: Phase::StagingIn,
-                fate: ExecutionFate::Success,
-                exec_duration: SimDuration::ZERO,
-                transferred: Bytes::ZERO,
-                reservation,
-                archive_reservation,
-                scratch_lfn: None,
-            },
-        );
-
-        self.traces.record(job, now, TraceEvent::GatekeeperAccepted);
-        self.traces
-            .record(job, now, TraceEvent::StageInStarted { bytes: input });
-
-        // Pre-stage input from the VO archive (zero-byte or local inputs
-        // skip the wire).
-        if input.is_zero() || src == site {
-            self.queue
-                .schedule_at(now, Event::StageInDone(job, NO_TRANSFER));
-        } else {
-            match self.gridftp.start(
-                TransferRequest {
-                    src,
-                    dst: site,
-                    bytes: input,
-                    vo,
-                },
-                now,
-            ) {
-                Ok((xfer, finish)) => {
-                    self.transfer_purpose
-                        .insert(xfer, TransferPurpose::JobStageIn(job));
-                    self.open_transfer_span(now, xfer, "stage_in", Some(u64::from(job.0)));
-                    self.queue
-                        .schedule_at(finish, Event::StageInDone(job, xfer));
-                }
-                Err(_) => {
-                    // The transfer could not even start: one end's GridFTP
-                    // door is down (often the *archive*, which a healthy
-                    // execution site can do nothing about). Re-broker
-                    // after backoff rather than dying on the spot.
-                    if self.can_retry(attempt) {
-                        self.park_for_retry(now, job, affinity, attempt);
-                    } else {
-                        self.fail_active_job(now, job, FailureCause::StageInFailure);
-                    }
-                }
-            }
-        }
+    /// The metrics viewer (figure source).
+    pub fn viewer(&self) -> &MdViewer {
+        &self.reporting.viewer
     }
 
-    /// Undo a placement whose stage-in could not start — release the
-    /// gatekeeper slot and reservations — and park the job for a
-    /// re-brokered retry.
-    fn park_for_retry(&mut self, now: SimTime, job: JobId, affinity: f64, attempt: u32) {
-        let Some(j) = self.jobs.remove(&job) else {
-            return;
-        };
-        self.release_job_resources(&j, job);
-        if let Some(span) = self.gram_spans.remove(&job) {
-            self.telemetry.span_error(now, span);
-        }
-        self.schedule_retry(now, job, j.spec, affinity, attempt);
+    /// Concurrent-running-jobs gauge (§7 peak metric).
+    pub fn job_gauge(&self) -> &GaugeTracker {
+        &self.fabric.job_gauge
     }
 
-    fn on_stage_in_done(&mut self, now: SimTime, job: JobId, xfer: TransferId) {
-        if xfer != NO_TRANSFER {
-            if self.transfer_purpose.remove(&xfer).is_none() {
-                return; // stale: the transfer already died with its site
-            }
-            self.close_transfer_span(now, xfer, false);
-            if let Ok(outcome) = self.gridftp.complete(xfer, now) {
-                self.credit_transfer(now, outcome.request.vo, outcome.delivered);
-                if let Some(j) = self.jobs.get_mut(&job) {
-                    j.transferred += outcome.delivered;
-                }
-            }
-        }
-        let Some(j) = self.jobs.get(&job) else { return };
-        let site = j.site;
-        let scratch = j.spec.input_bytes + j.spec.scratch_bytes;
-        let reservation = j.reservation;
-        let vo = j.spec.class.vo();
-        let walltime = j.spec.requested_walltime;
-        let lfn = self.lfns.next_id();
-
-        // Land the staged data on the site SE.
-        let stored = match reservation {
-            Some(r) => self.sites[site.index()]
-                .storage
-                .store_reserved(r, lfn, scratch)
-                .is_ok(),
-            None => self.sites[site.index()].storage.store(lfn, scratch).is_ok(),
-        };
-        if !stored {
-            self.fail_active_job(now, job, FailureCause::DiskFull);
-            return;
-        }
-        {
-            let j = self.jobs.get_mut(&job).expect("present");
-            j.reservation = None;
-            j.scratch_lfn = Some(lfn);
-            j.phase = Phase::Queued;
-        }
-        self.traces.record(job, now, TraceEvent::StageInDone);
-        self.traces.record(job, now, TraceEvent::Queued);
-        self.sites[site.index()].enqueue(QueuedJob {
-            job,
-            vo,
-            requested_walltime: walltime,
-            enqueued: now,
-        });
-        self.dispatch_site(now, site);
+    /// The §8 troubleshooting/accounting trace store.
+    pub fn traces(&self) -> &TraceStore {
+        &self.ctx.traces
     }
 
-    fn on_execution_ends(&mut self, now: SimTime, job: JobId) {
-        let Some(j) = self.jobs.get(&job) else { return };
-        if j.phase != Phase::Running {
-            return; // stale (killed earlier)
-        }
-        let site = j.site;
-        let fate = j.fate;
-        self.sites[site.index()].release(job, now);
-        self.job_gauge.step(now, -1.0);
-        // Failure fates get their ExecutionEnded from `fail_active_job`
-        // (which also covers jobs killed by site incidents).
-        if fate == ExecutionFate::Success {
-            self.traces.record(job, now, TraceEvent::ExecutionEnded);
-        }
-        self.queue.schedule_at(now, Event::TryDispatch(site));
-
-        match fate {
-            ExecutionFate::RandomLoss => self.fail_active_job(now, job, FailureCause::RandomLoss),
-            ExecutionFate::Walltime => {
-                self.fail_active_job(now, job, FailureCause::WalltimeExceeded)
-            }
-            ExecutionFate::Misconfig => {
-                self.fail_active_job(now, job, FailureCause::Misconfiguration)
-            }
-            ExecutionFate::Success => {
-                let j = self.jobs.get_mut(&job).expect("present");
-                j.phase = Phase::StagingOut;
-                let vo = j.spec.class.vo();
-                let out = j.spec.output_bytes;
-                let dst = self.topo.archive_site(vo);
-                self.traces
-                    .record(job, now, TraceEvent::StageOutStarted { bytes: out });
-                if out.is_zero() || dst == site {
-                    self.queue
-                        .schedule_at(now, Event::StageOutDone(job, NO_TRANSFER));
-                } else {
-                    match self.gridftp.start(
-                        TransferRequest {
-                            src: site,
-                            dst,
-                            bytes: out,
-                            vo,
-                        },
-                        now,
-                    ) {
-                        Ok((xfer, finish)) => {
-                            self.transfer_purpose
-                                .insert(xfer, TransferPurpose::JobStageOut(job));
-                            self.open_transfer_span(now, xfer, "stage_out", Some(u64::from(job.0)));
-                            self.queue
-                                .schedule_at(finish, Event::StageOutDone(job, xfer));
-                        }
-                        Err(_) => self.fail_active_job(now, job, FailureCause::StageOutFailure),
-                    }
-                }
-            }
-        }
+    /// The grid-wide instrumentation layer.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.ctx.telemetry
     }
 
-    fn on_stage_out_done(&mut self, now: SimTime, job: JobId, xfer: TransferId) {
-        if xfer != NO_TRANSFER {
-            if self.transfer_purpose.remove(&xfer).is_none() {
-                return; // stale
-            }
-            self.close_transfer_span(now, xfer, false);
-            if let Ok(outcome) = self.gridftp.complete(xfer, now) {
-                self.credit_transfer(now, outcome.request.vo, outcome.delivered);
-                if let Some(j) = self.jobs.get_mut(&job) {
-                    j.transferred += outcome.delivered;
-                }
-            }
-        }
-        let Some(j) = self.jobs.get(&job) else { return };
-        let vo = j.spec.class.vo();
-        let out = j.spec.output_bytes;
-        let registers = j.spec.registers_output;
-        let archive = self.topo.archive_site(vo);
-        self.traces.record(job, now, TraceEvent::StageOutDone);
-
-        // Archive storage write (into the SRM reservation when one is
-        // held).
-        let archive_res = self
-            .jobs
-            .get_mut(&job)
-            .and_then(|j| j.archive_reservation.take());
-        let lfn = self.lfns.next_id();
-        let stored = match archive_res {
-            Some(r) => self.sites[archive.index()]
-                .storage
-                .store_reserved(r, lfn, out)
-                .is_ok(),
-            None => self.sites[archive.index()].storage.store(lfn, out).is_ok(),
-        };
-        if !stored {
-            self.fail_active_job(now, job, FailureCause::StageOutFailure);
-            return;
-        }
-        // RLS registration (§6.1 counts it in the lifecycle).
-        if registers {
-            if self.fate_rng.chance(0.002) {
-                self.fail_active_job(now, job, FailureCause::RegistrationFailure);
-                return;
-            }
-            self.rls.register(lfn, archive, out);
-            self.traces.record(job, now, TraceEvent::Registered);
-        }
-        self.complete_active_job(now, job);
+    /// The adaptive fault-handling layer (`None` for baseline runs).
+    pub fn resilience(&self) -> Option<&ResilienceLayer> {
+        self.fabric.resilience.as_ref()
     }
 
-    fn dispatch_site(&mut self, now: SimTime, site: SiteId) {
-        if !self.topo.is_online(site, now) {
-            return;
-        }
-        let started = self.sites[site.index()].dispatch(now);
-        for (qj, node) in started {
-            let Some(spec) = self.jobs.get(&qj.job).map(|j| j.spec.clone()) else {
-                continue;
-            };
-            self.job_gauge.step(now, 1.0);
-            let wall = self.sites[site.index()]
-                .node(node)
-                .wall_time_for(spec.reference_runtime);
-            let validated = self.sites[site.index()].validated;
-            let repaired = self.sites[site.index()].repaired;
-            let misconfig = self.sites[site.index()]
-                .profile
-                .failures
-                .job_misconfig_failure(&mut self.fate_rng, validated, repaired);
-            let random_loss = self.sites[site.index()]
-                .profile
-                .failures
-                .job_random_loss(&mut self.fate_rng);
-            let (fate, ends_after) = if misconfig {
-                (
-                    ExecutionFate::Misconfig,
-                    SimDuration::from_secs_f64((wall.as_secs_f64() * 0.05).clamp(30.0, 1_800.0)),
-                )
-            } else if random_loss {
-                (
-                    ExecutionFate::RandomLoss,
-                    wall * self.fate_rng.range_f64(0.05, 0.95),
-                )
-            } else if wall > spec.requested_walltime {
-                (ExecutionFate::Walltime, spec.requested_walltime)
-            } else {
-                (ExecutionFate::Success, wall)
-            };
-            let j = self.jobs.get_mut(&qj.job).expect("present");
-            j.phase = Phase::Running;
-            j.started = Some(now);
-            j.fate = fate;
-            j.exec_duration = ends_after;
-            self.traces
-                .record(qj.job, now, TraceEvent::Dispatched { node });
-            self.queue
-                .schedule_at(now + ends_after, Event::ExecutionEnds(qj.job));
-        }
+    /// Completion accounting bucketed by site operational state.
+    pub fn site_ledger(&self) -> &SiteStateLedger {
+        &self.fault.site_ledger
     }
 
-    fn on_incident(&mut self, now: SimTime, site: SiteId, incident: FailureEvent) {
-        if !self.topo.is_online(site, now) {
-            return;
-        }
-        match incident {
-            FailureEvent::DiskFull {
-                external_bytes,
-                cleanup_after,
-                ..
-            } => {
-                // A disk-full incident means the disk actually filled:
-                // non-grid data takes (at least) the sampled volume and in
-                // any case nearly all remaining free space, so staging
-                // writes fail until cleanup. SRM reservations (the §8
-                // ablation) are immune: reserved space is not "free".
-                let fill = external_bytes.max(self.sites[site.index()].storage.free() * 0.98);
-                let taken = self.sites[site.index()].storage.consume_external(fill);
-                self.queue
-                    .schedule_at(now + cleanup_after, Event::DiskCleanup(site, taken));
-                self.center.tickets.open(site, TicketKind::DiskFull, now);
-                if let Some(r) = &mut self.resilience {
-                    r.suspend(site);
-                }
-                if !self.cfg.srm_reservations {
-                    // §6.2: "a disk would fill up … and all jobs submitted
-                    // to a site would die" — queued and staging jobs die.
-                    self.kill_non_running(now, site, FailureCause::DiskFull);
-                }
-            }
-            FailureEvent::ServiceCrash { outage, .. } => {
-                // The gatekeeper/GridFTP stack dies; jobs already running
-                // under the local batch system keep executing (§6.2's
-                // group deaths hit jobs *submitted to* the site — queued
-                // and staging — plus every in-flight transfer).
-                self.sites[site.index()].service_up = false;
-                self.gridftp.set_link_up(site, false);
-                self.gatekeepers[site.index()].crash();
-                // Suspend brokering before the kills so the deaths are
-                // accounted against a degraded site.
-                if let Some(r) = &mut self.resilience {
-                    r.suspend(site);
-                }
-                self.fail_site_transfers(now, site, FailureCause::ServiceFailure);
-                self.kill_non_running(now, site, FailureCause::ServiceFailure);
-                // Detection happens via the status-probe → ticket path.
-                self.queue
-                    .schedule_at(now + outage, Event::ServiceRestore(site));
-            }
-            FailureEvent::NetworkCut { outage, .. } => {
-                self.sites[site.index()].network_up = false;
-                self.gridftp.set_link_up(site, false);
-                if let Some(r) = &mut self.resilience {
-                    r.suspend(site);
-                }
-                self.fail_site_transfers(now, site, FailureCause::NetworkInterruption);
-                // Detection happens via the status-probe → ticket path.
-                self.queue
-                    .schedule_at(now + outage, Event::NetworkRestore(site));
-            }
-            FailureEvent::NightlyRollover { .. } => {
-                let killed = self.sites[site.index()].nodes_down(now);
-                for b in killed {
-                    self.job_gauge.step(now, -1.0);
-                    self.fail_active_job(now, b.job, FailureCause::NodeRollover);
-                }
-                self.queue
-                    .schedule_at(now + SimDuration::from_hours(1), Event::NodesRestore(site));
-            }
-            FailureEvent::Misconfigured { .. } => {
-                // Configuration drift (§6.2): the site silently falls back
-                // to the high per-job failure regime. Nothing visible
-                // happens now — the storm detector has to catch it from
-                // the job-failure stream.
-                let s = &mut self.sites[site.index()];
-                s.validated = false;
-                s.repaired = false;
-            }
-        }
+    /// Jobs whose broker found no eligible site.
+    pub fn unplaced_jobs(&self) -> u64 {
+        self.brokering.unplaced_jobs
     }
 
-    fn on_entrada_round(&mut self, now: SimTime) {
-        let Some(demo) = self.demo.clone() else {
-            return;
-        };
-        for req in demo.round() {
-            if !self.topo.is_online(req.src, now) || !self.topo.is_online(req.dst, now) {
-                continue;
-            }
-            if let Ok((xfer, finish)) = self.gridftp.start(req, now) {
-                self.transfer_purpose.insert(xfer, TransferPurpose::Demo);
-                self.open_transfer_span(now, xfer, "demo", None);
-                self.queue
-                    .schedule_at(finish, Event::DemoTransferDone(xfer));
-            }
-        }
-        let next = now + demo.period;
-        if next < self.cfg.horizon() {
-            self.queue.schedule_at(next, Event::EntradaRound);
-        }
-    }
-
-    fn on_demo_transfer_done(&mut self, now: SimTime, xfer: TransferId) {
-        if self.transfer_purpose.remove(&xfer).is_none() {
-            return; // stale
-        }
-        self.close_transfer_span(now, xfer, false);
-        if let Ok(outcome) = self.gridftp.complete(xfer, now) {
-            self.credit_transfer(now, outcome.request.vo, outcome.delivered);
-        }
-    }
-
-    fn on_monitor_tick(&mut self, now: SimTime) {
-        // GRIS republish + Ganglia/MonALISA agents.
-        for i in 0..self.sites.len() {
-            if !self.topo.is_online(self.sites[i].id, now) {
-                continue;
-            }
-            let record = GlueRecord::from_site(&self.sites[i], "VDT-1.1.8", now);
-            self.center.mds.publish(record);
-            let ganglia = GangliaAgent::new(self.sites[i].id);
-            let events = ganglia.sample(&self.sites[i], now);
-            for ev in &events {
-                self.center.ganglia_web.ingest(ev);
-            }
-            let load = self.gatekeepers[i].load_one_min(now);
-            let ml = MonAlisaAgent::new(self.sites[i].id);
-            let events = ml.sample(&self.sites[i], load, now);
-            for ev in &events {
-                self.center.monalisa.ingest(ev);
-            }
-        }
-        // Status-probe escalation to tickets.
-        let online: Vec<&Site> = self
-            .sites
-            .iter()
-            .filter(|s| self.topo.is_online(s.id, now))
-            .collect();
-        self.center.probe_round(online, now);
-        // Ship accumulated NetLogger events with each sweep, mirroring the
-        // periodic collection of §4.7.
-        self.drain_netlogger();
-
-        let next = now + self.cfg.monitor_interval;
-        if next < self.cfg.horizon() {
-            self.queue.schedule_at(next, Event::MonitorTick);
-        }
-    }
-
-    fn on_campaign_tick(&mut self, now: SimTime, idx: usize) {
-        // Release the currently ready nodes (the DagManager enforces the
-        // throttle) and submit them through the normal pipeline. CMS
-        // production favoured its own sites (§6.4). A single pass only:
-        // nodes that fail synchronously (gatekeeper refusal, no eligible
-        // site) re-enter Ready and are picked up by the delayed retry tick
-        // that `notify_campaign` schedules, instead of burning every retry
-        // at the same instant against the same transient outage.
-        let ready = self.campaigns[idx].1.ready_nodes();
-        let mut next_hold: Option<SimTime> = None;
-        for node in ready {
-            // A node still inside its retry backoff window stays Ready; it
-            // is resubmitted by the follow-up tick below, not instantly by
-            // a tick queued for a *sibling's* outcome — which would burn
-            // its retries against the same outage.
-            if let Some(&hold) = self.campaign_hold.get(&(idx, node)) {
-                if now < hold {
-                    next_hold = Some(next_hold.map_or(hold, |h: SimTime| h.min(hold)));
-                    continue;
-                }
-                self.campaign_hold.remove(&(idx, node));
-            }
-            self.campaigns[idx].1.mark_submitted(node);
-            let spec = self.campaigns[idx].1.dag().payload(node).spec.clone();
-            let job = self.submit_spec(now, spec, 0.5, Some((idx, node)));
-            if self.telemetry.is_enabled() && self.campaign_job_map.contains_key(&job) {
-                let span = self
-                    .telemetry
-                    .span_enter(now, "dagman", "node", Some(u64::from(job.0)));
-                self.dagman_spans.insert(job, span);
-            }
-        }
-        // Every held node needs a tick at its hold expiry, or the DAG could
-        // stall with nothing active and everything backing off.
-        if let Some(at) = next_hold {
-            self.queue.schedule_at(at, Event::CampaignTick(idx));
-        }
-    }
-
-    /// Feed a campaign job's terminal outcome back into its DAGMan.
-    ///
-    /// Successful completions release children immediately; failures that
-    /// still have retries left are re-queued after [`CAMPAIGN_RETRY_DELAY`]
-    /// — mirroring real DAGMan, whose RETRY nodes wait for the next
-    /// submit cycle rather than resubmitting into the same outage.
-    fn notify_campaign(&mut self, now: SimTime, job: JobId, success: bool) {
-        let Some((idx, node)) = self.campaign_job_map.remove(&job) else {
-            return;
-        };
-        if let Some(span) = self.dagman_spans.remove(&job) {
-            if success {
-                self.telemetry.span_exit(now, span);
-            } else {
-                self.telemetry.span_error(now, span);
-            }
-        }
-        let mgr = &mut self.campaigns[idx].1;
-        let delay = if success {
-            mgr.mark_done(node);
-            SimDuration::ZERO
-        } else {
-            match mgr.mark_failed(node) {
-                FailureAction::Retry { remaining } => {
-                    // Exponential backoff: the k-th consecutive failure of
-                    // a node waits base·2^k, outliving transient outages.
-                    let budget = self.cfg.campaigns[idx].retries;
-                    let used = budget.saturating_sub(remaining).min(8);
-                    let delay = CAMPAIGN_RETRY_BASE_DELAY * (1u64 << used) as f64;
-                    self.campaign_hold.insert((idx, node), now + delay);
-                    delay
-                }
-                FailureAction::Permanent => return,
-            }
-        };
-        // Re-tick whenever more work could start: children just released,
-        // a retry re-queued, or a throttle slot freed with Ready nodes
-        // still pending.
-        if mgr.dag_state() == DagState::Running && !mgr.ready_nodes().is_empty() {
-            self.queue
-                .schedule_at(now + delay, Event::CampaignTick(idx));
-        }
-    }
-
-    // ----- helpers ----------------------------------------------------
-
-    /// Open a GridFTP transfer span (no-op when telemetry is disabled).
-    fn open_transfer_span(
-        &mut self,
-        now: SimTime,
-        xfer: TransferId,
-        op: &'static str,
-        job: Option<u64>,
-    ) {
-        if self.telemetry.is_enabled() {
-            let span = self.telemetry.span_enter(now, "gridftp", op, job);
-            self.transfer_spans.insert(xfer, span);
-        }
-    }
-
-    /// Close a transfer span, as an error when the transfer died.
-    fn close_transfer_span(&mut self, now: SimTime, xfer: TransferId, errored: bool) {
-        if let Some(span) = self.transfer_spans.remove(&xfer) {
-            if errored {
-                self.telemetry.span_error(now, span);
-            } else {
-                self.telemetry.span_exit(now, span);
-            }
-        }
-    }
-
-    fn credit_transfer(&mut self, now: SimTime, vo: Vo, bytes: Bytes) {
-        self.bytes_delivered += bytes;
-        self.viewer.ingest_transfer(now, vo, bytes);
-    }
-
-    /// Kill staging/queued (not running) jobs at a site.
-    fn kill_non_running(&mut self, now: SimTime, site: SiteId, cause: FailureCause) {
-        let queued = self.sites[site.index()].kill_all_queued();
-        for qj in queued {
-            self.fail_active_job(now, qj.job, cause);
-        }
-        let mut staging: Vec<JobId> = self
-            .jobs
-            .iter()
-            .filter(|(_, j)| j.site == site && j.phase == Phase::StagingIn)
-            .map(|(id, _)| *id)
-            .collect();
-        staging.sort();
-        for job in staging {
-            self.fail_active_job(now, job, cause);
-        }
-    }
-
-    /// Fail transfers touching a site, cascading to their jobs.
-    fn fail_site_transfers(&mut self, now: SimTime, site: SiteId, cause: FailureCause) {
-        let failed = self.gridftp.fail_site(site, now);
-        for outcome in failed {
-            // Partial bytes still moved over the wire before the failure.
-            self.close_transfer_span(now, outcome.id, true);
-            self.credit_transfer(now, outcome.request.vo, outcome.delivered);
-            match self.transfer_purpose.remove(&outcome.id) {
-                Some(TransferPurpose::JobStageIn(j)) | Some(TransferPurpose::JobStageOut(j)) => {
-                    self.fail_active_job(now, j, cause);
-                }
-                Some(TransferPurpose::Demo) | None => {}
-            }
-        }
-    }
-
-    fn resolve_site_tickets(&mut self, site: SiteId, now: SimTime) {
-        let open: Vec<_> = self
-            .center
-            .tickets
-            .for_site(site)
-            .filter(|t| matches!(t.status, TicketStatus::Open))
-            // Failure-storm tickets resolve through their own repair
-            // event, not incidentally when some unrelated outage ends.
-            .filter(|t| t.kind != TicketKind::FailureStorm)
-            .map(|t| t.id)
-            .collect();
-        for id in open {
-            self.center.tickets.resolve(id, now);
-        }
-    }
-
-    fn fail_active_job(&mut self, now: SimTime, job: JobId, cause: FailureCause) {
-        let Some(j) = self.jobs.remove(&job) else {
-            return;
-        };
-        if j.phase == Phase::Running {
-            // Killed under execution (rollover / crash): close the CPU
-            // accounting span before the terminal event.
-            self.traces.record(job, now, TraceEvent::ExecutionEnded);
-        }
-        self.traces.record(job, now, TraceEvent::Failed(cause));
-        self.release_job_resources(&j, job);
-        let runtime = j.started.map(|s| now.since(s)).unwrap_or(SimDuration::ZERO);
-        // A job killed mid-flight consumed CPU until now (capped at its
-        // scheduled execution span).
-        let runtime = if j.exec_duration.is_zero() {
-            runtime
-        } else {
-            runtime.min(j.exec_duration)
-        };
-        self.finish_job_record(
-            now,
-            job,
-            &j.spec,
-            j.site,
-            j.submitted,
-            j.started,
-            runtime,
-            j.transferred,
-            JobOutcome::Failed(cause),
-        );
-    }
-
-    fn complete_active_job(&mut self, now: SimTime, job: JobId) {
-        let Some(j) = self.jobs.remove(&job) else {
-            return;
-        };
-        self.traces.record(job, now, TraceEvent::Completed);
-        self.release_job_resources(&j, job);
-        let started = j.started.expect("completed job ran");
-        self.finish_job_record(
-            now,
-            job,
-            &j.spec,
-            j.site,
-            j.submitted,
-            Some(started),
-            j.exec_duration,
-            j.transferred,
-            JobOutcome::Completed,
-        );
-    }
-
-    fn release_job_resources(&mut self, j: &ActiveJob, job: JobId) {
-        self.gatekeepers[j.site.index()].job_done(job).ok();
-        if let Some(lfn) = j.scratch_lfn {
-            let _ = self.sites[j.site.index()].storage.delete(lfn);
-        }
-        if let Some(r) = j.reservation {
-            let _ = self.sites[j.site.index()].storage.release(r);
-        }
-        if let Some(r) = j.archive_reservation {
-            let archive = self.topo.archive_site(j.spec.class.vo());
-            let _ = self.sites[archive.index()].storage.release(r);
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn finish_job_record(
-        &mut self,
-        now: SimTime,
-        job: JobId,
-        spec: &JobSpec,
-        site: SiteId,
-        submitted: SimTime,
-        started: Option<SimTime>,
-        runtime: SimDuration,
-        transferred: Bytes,
-        outcome: JobOutcome,
-    ) {
-        // Every terminal path funnels through here exactly once, so this
-        // is where the engine and gatekeeper spans close.
-        if let Some(span) = self.job_spans.remove(&job) {
-            if outcome.is_success() {
-                self.telemetry.span_exit(now, span);
-            } else {
-                self.telemetry.span_error(now, span);
-            }
-        }
-        if let Some(span) = self.gram_spans.remove(&job) {
-            self.telemetry.span_exit(now, span);
-        }
-        let record = JobRecord {
-            job,
-            class: spec.class,
-            user: spec.user,
-            site,
-            submitted,
-            started,
-            finished: now,
-            runtime,
-            transferred,
-            outcome,
-        };
-        self.acdc.ingest_record(&record);
-        self.viewer.ingest_job(&record);
-        self.record_site_outcome(now, site, &outcome);
-        self.notify_campaign(now, job, outcome.is_success());
-    }
-
-    /// Bucket a terminal outcome by the site's operational state and feed
-    /// the resilience layer's health window — opening a failure-storm
-    /// ticket (and scheduling its repair) when the window trips.
-    fn record_site_outcome(&mut self, now: SimTime, site: SiteId, outcome: &JobOutcome) {
-        if matches!(outcome, JobOutcome::Failed(FailureCause::NoEligibleSite)) {
-            return; // placeholder record; no site was involved
-        }
-        let success = outcome.is_success();
-        let state = if self
-            .resilience
-            .as_ref()
-            .is_some_and(|r| r.is_banned(site, now))
-        {
-            SiteState::Degraded
-        } else if self.sites[site.index()].validated {
-            SiteState::Validated
-        } else {
-            SiteState::Unvalidated
-        };
-        self.site_ledger.record(state, success);
-
-        let Some(r) = &mut self.resilience else {
-            return;
-        };
-        let site_failure = match outcome {
-            JobOutcome::Failed(cause) => cause.is_site_problem(),
-            _ => false,
-        };
-        if r.record_outcome(site, site_failure) {
-            let ticket = self
-                .center
-                .tickets
-                .open(site, TicketKind::FailureStorm, now);
-            r.begin_repair(site, ticket);
-            let delay = r
-                .config()
-                .revalidation
-                .repair_delay(TicketKind::FailureStorm);
-            self.queue
-                .schedule_at(now + delay, Event::SiteRepaired(site));
-            self.telemetry
-                .counter_add("resilience", "storm", format!("site{}", site.0), 1);
-        }
+    /// Total bytes delivered by completed (and partially by failed)
+    /// transfers.
+    pub fn bytes_delivered(&self) -> Bytes {
+        self.reporting.bytes_delivered
     }
 
     /// Per-campaign progress: `(dataset, state, done, total)`.
     pub fn campaign_progress(&self) -> Vec<(String, DagState, usize, usize)> {
-        self.campaigns
-            .iter()
-            .map(|(name, mgr)| {
-                (
-                    name.clone(),
-                    mgr.dag_state(),
-                    mgr.done_count(),
-                    mgr.dag().len(),
-                )
-            })
-            .collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::scenario::ScenarioConfig;
-
-    fn small_cfg(seed: u64) -> ScenarioConfig {
-        ScenarioConfig::sc2003()
-            .with_scale(0.01)
-            .with_seed(seed)
-            .with_demo(false)
+        self.brokering.campaign_progress()
     }
 
-    #[test]
-    fn small_run_reaches_quiescence() {
-        let mut sim = Simulation::new(small_cfg(1));
-        sim.run();
-        assert!(sim.events_processed() > 100);
-        assert!(sim.acdc.total_records() > 100);
-        // Work is either finished or legitimately still in flight at the
-        // horizon (long CMS jobs straddle it).
-        let finished = sim.acdc.total_records();
-        let in_flight = sim.active_jobs() as u64;
-        let submitted: u64 = sim
-            .config()
-            .scaled_workloads()
-            .iter()
-            .flat_map(|w| {
-                let mut rng =
-                    SimRng::for_label(sim.config().seed, &format!("workload/{}", w.class.name()));
-                w.schedule(&mut rng, UserId(0))
-                    .into_iter()
-                    .filter(|s| s.at < sim.config().horizon())
-                    .map(|_| 1u64)
-                    .collect::<Vec<_>>()
-            })
-            .sum();
-        assert_eq!(finished + in_flight, submitted);
-    }
-
-    #[test]
-    fn deterministic_given_seed() {
-        let run = |seed| {
-            let mut sim = Simulation::new(small_cfg(seed));
-            sim.run();
-            (
-                sim.acdc.total_records(),
-                sim.acdc.overall_efficiency(),
-                sim.bytes_delivered,
-                sim.events_processed(),
-            )
-        };
-        assert_eq!(run(7), run(7));
-        assert_ne!(run(7), run(8));
-    }
-
-    #[test]
-    fn efficiency_lands_in_paper_band() {
-        // §6.1/§6.2/§7: grid-wide completion ≈70 %, generously banded for
-        // a 1 % sample.
-        let mut sim = Simulation::new(small_cfg(3));
-        sim.run();
-        let eff = sim.acdc.overall_efficiency();
-        assert!(
-            (0.5..=0.95).contains(&eff),
-            "efficiency {eff:.2} outside plausibility band"
-        );
-    }
-
-    #[test]
-    fn failures_are_dominated_by_site_problems() {
-        // §6.1: ≈90 % of failures were site problems. Accept a wide band
-        // at small scale.
-        let mut sim = Simulation::new(small_cfg(4));
-        sim.run();
-        let frac = sim.acdc.site_problem_fraction();
-        assert!(
-            frac > 0.5,
-            "site-problem fraction {frac:.2} implausibly low"
-        );
-    }
-
-    #[test]
-    fn gauge_and_gatekeepers_are_consistent() {
-        let mut sim = Simulation::new(small_cfg(5));
-        sim.run();
-        // Gauge level equals running jobs still tracked.
-        let running = sim.sites.iter().map(|s| s.running_count()).sum::<usize>() as f64;
-        assert_eq!(sim.job_gauge.level(), running);
-        assert!(sim.job_gauge.peak() > 0.0);
-        // Every gatekeeper's managed set is within the active job count.
-        let managed: usize = sim.gatekeepers.iter().map(|g| g.managed_count()).sum();
-        assert!(managed <= sim.active_jobs());
-    }
-
-    #[test]
-    fn demo_moves_data_when_enabled() {
-        let cfg = ScenarioConfig::sc2003()
-            .with_scale(0.002)
-            .with_seed(6)
-            .with_days(3);
-        let mut sim = Simulation::new(cfg);
-        sim.run();
-        // 2 TB/day target → several TB over 3 days even with failures.
-        let tb = sim.bytes_delivered.as_tb_f64();
-        assert!(tb > 3.0, "only {tb:.2} TB moved");
-    }
-
-    #[test]
-    fn dag_campaign_runs_inside_the_grid() {
-        use crate::scenario::CampaignSpec;
-        use grid3_workflow::mop::CmsSimulator;
-        // A small OSCAR campaign on top of a minimal background load.
-        let cfg = ScenarioConfig::sc2003()
-            .with_scale(0.002)
-            .with_seed(77)
-            .with_demo(false)
-            .with_campaign(CampaignSpec {
-                dataset: "dc04_test".into(),
-                events: 2_500,
-                events_per_job: 250,
-                simulator: CmsSimulator::Cmsim,
-                submit_day: 1,
-                retries: 3,
-                throttle: 12,
-            });
-        let mut sim = Simulation::new(cfg);
-        sim.run();
-        let progress = sim.campaign_progress();
-        assert_eq!(progress.len(), 1);
-        let (name, state, done, total) = &progress[0];
-        assert_eq!(name, "dc04_test");
-        assert_eq!(*total, 30); // 10 chains × 3 steps
-                                // Over a 30-day window a CMSIM campaign either completes or is
-                                // still grinding through retries; it must never deadlock with
-                                // nothing running.
-        match state {
-            grid3_workflow::dagman::DagState::Completed => assert_eq!(*done, 30),
-            grid3_workflow::dagman::DagState::Failed => {
-                assert!(*done < 30);
-            }
-            grid3_workflow::dagman::DagState::Running => {
-                assert!(sim.active_jobs() > 0 || *done > 0);
-            }
-        }
-        // Chain ordering held: for each completed digi job, its sim and
-        // gen predecessors are Done (guaranteed by DAGMan, spot-checked
-        // through the trace store's timestamps).
-        assert!(*done > 0, "campaign made progress");
-    }
-
-    #[test]
-    fn telemetry_observes_without_perturbing() {
-        let run = |telemetry: bool| {
-            let mut sim = Simulation::new(small_cfg(7).with_telemetry(telemetry));
-            sim.run();
-            sim
-        };
-        let base = run(false);
-        let sim = run(true);
-        // Instrumentation must not change the simulation itself.
-        assert_eq!(sim.acdc.total_records(), base.acdc.total_records());
-        assert_eq!(sim.bytes_delivered, base.bytes_delivered);
-        assert_eq!(sim.events_processed(), base.events_processed());
-        // The disabled handle records nothing; the enabled one profiles
-        // every event pop and carries middleware counters and spans.
-        assert_eq!(base.telemetry.dispatch_total(), 0);
-        assert_eq!(sim.telemetry.dispatch_total(), sim.events_processed());
-        assert!(sim.telemetry.counter_total("gram", "accepted") > 0);
-        assert!(sim.telemetry.counter_total("scheduler", "dispatched") > 0);
-        assert!(!sim.telemetry.spans().is_empty());
-        assert!(!sim.telemetry.hottest_events(3).is_empty());
-        // Spans still open at the horizon belong to jobs/transfers still
-        // in flight — never more than the engine itself tracks.
-        let open_bound = 2 * sim.active_jobs() + sim.telemetry.dropped_span_count() as usize;
-        assert!(sim.telemetry.open_span_count() <= open_bound + sim.gridftp.active_count());
-    }
-
-    #[test]
-    fn users_registered_across_voms_servers() {
-        let sim = Simulation::new(small_cfg(9));
-        let total = grid3_middleware::voms::total_distinct_users(&sim.voms);
-        // §7: 102 authorized users — the seven application classes'
-        // populations plus the iGOC operations staff.
-        assert_eq!(total, 102);
+    /// The underlying event queue (read-only; for depth inspection).
+    pub fn queue(&self) -> &EventQueue<GridEvent> {
+        &self.ctx.queue
     }
 }

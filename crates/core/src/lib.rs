@@ -12,9 +12,19 @@
 //!   connectivity, disk, max runtime, bandwidth) plus the observed VO
 //!   affinity ("applications tend to favor the resources provided within
 //!   their VO").
-//! * [`engine`] — the event-driven grid simulation: submission →
+//! * [`engine`] — the thin event router: clock + typed event queue +
+//!   the five routed subsystem services, held bit-identical to the
+//!   former monolithic engine by the golden-hash determinism suite.
+//! * [`subsystems`] — the services themselves (brokering, staging,
+//!   execution, fault handling, reporting) behind the
+//!   [`subsystems::Subsystem`] trait, the shared
+//!   [`subsystems::GridFabric`] status board, and the §5 assembly
+//!   pipeline. The simulated lifecycle is §6.1's: submission →
 //!   gatekeeper → stage-in → batch queue → execution → stage-out → RLS
 //!   registration, with the calibrated failure injection of §6.
+//! * [`campaign`] — whole-run parameter sweeps: fan a scenario across
+//!   seeds and variants in parallel and merge the per-run reports into
+//!   percentile bands.
 //! * [`resilience`] — the adaptive fault-handling layer of §6.2:
 //!   per-site health scoring and blacklisting the broker consults,
 //!   failure-storm detection feeding the iGOC ticket queue, and the
@@ -41,13 +51,18 @@
 #![warn(missing_docs)]
 
 pub mod broker;
+pub mod campaign;
 pub mod engine;
 pub mod report;
 pub mod resilience;
 pub mod scenario;
+pub mod subsystems;
 pub mod topology;
 
-pub use engine::Simulation;
+#[cfg(test)]
+mod engine_tests;
+
+pub use engine::{Grid3Engine, Simulation};
 pub use report::Grid3Report;
 pub use resilience::{ResilienceConfig, ResilienceLayer};
 pub use scenario::{CampaignSpec, ScenarioConfig, StormSpec};

@@ -114,7 +114,7 @@ pub struct ClassEfficiency {
 impl Grid3Report {
     /// Extract the full report from a finished simulation.
     pub fn extract(sim: &Simulation) -> Self {
-        let mut table1 = sim.acdc.table1();
+        let mut table1 = sim.acdc().table1();
         // Table 1's "Number of Users" row counts *authorized* users per
         // class (LIGO lists 7 users against 3 jobs), so take the VOMS
         // population rather than distinct submitters.
@@ -128,13 +128,13 @@ impl Grid3Report {
         for vo in Vo::ALL {
             fig2.insert(
                 vo.name().to_string(),
-                sim.viewer.fig2_integrated_cpu_days(vo),
+                sim.viewer().fig2_integrated_cpu_days(vo),
             );
-            fig3.insert(vo.name().to_string(), sim.viewer.fig3_avg_cpus(vo));
+            fig3.insert(vo.name().to_string(), sim.viewer().fig3_avg_cpus(vo));
         }
 
         let fig4_by_site: Vec<(String, f64)> = sim
-            .viewer
+            .viewer()
             .fig4_cms_cpu_days_by_site()
             .into_iter()
             .map(|(site, days)| (sim.topology().specs[site.index()].name.to_string(), days))
@@ -142,7 +142,7 @@ impl Grid3Report {
 
         let fig5_by_vo_tb: Vec<(String, f64)> = Vo::ALL
             .iter()
-            .map(|vo| (vo.name().to_string(), sim.viewer.total_tb(*vo)))
+            .map(|vo| (vo.name().to_string(), sim.viewer().total_tb(*vo)))
             .collect();
 
         // Multi-VO sites: §7's "number of sites capable of running
@@ -152,7 +152,7 @@ impl Grid3Report {
             .topology()
             .specs
             .iter()
-            .zip(&sim.sites)
+            .zip(sim.sites())
             .filter(|(spec, _)| spec.offline_after_day.is_none())
             .filter(|(_, site)| {
                 Vo::ALL
@@ -174,23 +174,23 @@ impl Grid3Report {
             UserClass::Usatlas,
             UserClass::Uscms,
         ] {
-            if sim.acdc.completed_count(class) > 0 {
+            if sim.acdc().completed_count(class) > 0 {
                 applications += 1;
             }
         }
-        if sim.acdc.completed_count(UserClass::Ivdgl) > 0 {
+        if sim.acdc().completed_count(UserClass::Ivdgl) > 0 {
             applications += 2; // SnB and GADU
         }
-        if sim.acdc.completed_count(UserClass::Exerciser) > 0 {
+        if sim.acdc().completed_count(UserClass::Exerciser) > 0 {
             applications += 2; // exerciser + its NetLogger study companion
         }
-        if sim.bytes_delivered > Bytes::ZERO && sim.config().include_demo {
+        if sim.bytes_delivered() > Bytes::ZERO && sim.config().include_demo {
             applications += 1; // the Entrada transfer demonstrator
         }
 
         // Utilization over the SC2003 week (days 21–27), against the CPUs
         // actually online then (steady + surge).
-        let avg = sim.viewer.fig3_avg_cpus_total();
+        let avg = sim.viewer().fig3_avg_cpus_total();
         let week: Vec<f64> = avg.iter().copied().skip(21).take(7).collect();
         let busy_week = if week.is_empty() {
             0.0
@@ -209,16 +209,16 @@ impl Grid3Report {
             // leaves the efficiency a well-run site would see.
             let done: u64 = UserClass::ALL
                 .iter()
-                .map(|c| sim.acdc.completed_count(*c))
+                .map(|c| sim.acdc().completed_count(*c))
                 .sum();
             let site_failures: u64 = sim
-                .acdc
+                .acdc()
                 .failure_breakdown()
                 .iter()
                 .filter(|(c, _)| c.is_site_problem())
                 .map(|(_, n)| *n)
                 .sum();
-            let all_failures: u64 = sim.acdc.failure_breakdown().values().sum();
+            let all_failures: u64 = sim.acdc().failure_breakdown().values().sum();
             let non_site = all_failures - site_failures;
             if done + non_site == 0 {
                 0.0
@@ -230,37 +230,37 @@ impl Grid3Report {
         let metrics = MilestoneMetrics {
             cpus_steady: sim.topology().steady_cpus(),
             cpus_peak: sim.topology().peak_cpus(),
-            users: grid3_middleware::voms::total_distinct_users(&sim.voms),
+            users: grid3_middleware::voms::total_distinct_users(sim.voms()),
             applications,
             multi_vo_sites,
-            peak_daily_tb: sim.viewer.peak_daily_tb(),
+            peak_daily_tb: sim.viewer().peak_daily_tb(),
             utilization_sc2003,
-            overall_efficiency: sim.acdc.overall_efficiency(),
+            overall_efficiency: sim.acdc().overall_efficiency(),
             validated_site_efficiency,
-            peak_concurrent_jobs: sim.job_gauge.peak(),
-            peak_concurrent_at: sim.job_gauge.peak_at().to_string(),
-            site_problem_fraction: sim.acdc.site_problem_fraction(),
+            peak_concurrent_jobs: sim.job_gauge().peak(),
+            peak_concurrent_at: sim.job_gauge().peak_at().to_string(),
+            site_problem_fraction: sim.acdc().site_problem_fraction(),
             ops_fte: sim
-                .center
+                .center()
                 .tickets
                 .fte_in_window(grid3_simkit::time::SimTime::EPOCH, sim.config().horizon()),
-            unplaced_jobs: sim.unplaced_jobs,
-            total_data: sim.bytes_delivered,
+            unplaced_jobs: sim.unplaced_jobs(),
+            total_data: sim.bytes_delivered(),
         };
 
         Grid3Report {
             table1,
             fig2_integrated: fig2,
             fig3_differential: fig3,
-            fig3_total: sim.viewer.fig3_avg_cpus_total(),
+            fig3_total: sim.viewer().fig3_avg_cpus_total(),
             fig4_by_site,
-            fig4_cumulative: sim.viewer.fig4_cms_cumulative(),
-            fig5_cumulative_tb: sim.viewer.fig5_cumulative_tb_total(),
+            fig4_cumulative: sim.viewer().fig4_cms_cumulative(),
+            fig5_cumulative_tb: sim.viewer().fig5_cumulative_tb_total(),
             fig5_by_vo_tb,
-            fig6_monthly_jobs: sim.acdc.monthly_jobs_all().labelled(),
+            fig6_monthly_jobs: sim.acdc().monthly_jobs_all().labelled(),
             metrics,
             failure_breakdown: sim
-                .acdc
+                .acdc()
                 .failure_breakdown()
                 .iter()
                 .map(|(c, n)| (c.label().to_string(), *n))
@@ -269,10 +269,10 @@ impl Grid3Report {
                 .iter()
                 .map(|class| ClassEfficiency {
                     class: *class,
-                    completed: sim.acdc.completed_count(*class),
-                    failed: sim.acdc.failed_count(*class),
-                    efficiency: sim.acdc.efficiency(*class),
-                    mean_time_to_start_hr: sim.acdc.queue_wait_stats(*class).mean(),
+                    completed: sim.acdc().completed_count(*class),
+                    failed: sim.acdc().failed_count(*class),
+                    efficiency: sim.acdc().efficiency(*class),
+                    mean_time_to_start_hr: sim.acdc().queue_wait_stats(*class).mean(),
                 })
                 .collect(),
             site_state_efficiency: [
@@ -282,16 +282,16 @@ impl Grid3Report {
             ]
             .into_iter()
             .map(|state| {
-                let (completed, failed) = sim.site_ledger.counts(state);
+                let (completed, failed) = sim.site_ledger().counts(state);
                 SiteStateEfficiency {
                     state: state.label().to_string(),
                     completed,
                     failed,
-                    efficiency: sim.site_ledger.efficiency(state),
+                    efficiency: sim.site_ledger().efficiency(state),
                 }
             })
             .collect(),
-            total_jobs: sim.acdc.total_records(),
+            total_jobs: sim.acdc().total_records(),
         }
     }
 

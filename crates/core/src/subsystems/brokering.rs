@@ -1,0 +1,531 @@
+//! Brokering: workload intake, §6.4 site selection, GRAM submission
+//! with retry/backoff, and the DAGMan campaign feedback loop (§4.2).
+//!
+//! Owns the broker, the per-job retry ledger, and the campaign table.
+//! Placement failures re-enter through [`BrokeringEvent::RetryPlace`];
+//! terminal outcomes arrive as immediate
+//! [`BrokeringEvent::CampaignOutcome`] events emitted by the fabric's
+//! terminal funnel.
+
+use crate::broker::Broker;
+use grid3_middleware::mds::GlueRecord;
+use grid3_monitoring::trace::TraceEvent;
+use grid3_simkit::ids::{JobId, SiteId};
+use grid3_simkit::telemetry::SpanId;
+use grid3_simkit::time::{SimDuration, SimTime};
+use grid3_simkit::units::Bytes;
+use grid3_site::job::{FailureCause, JobOutcome, JobSpec};
+use grid3_workflow::dag::NodeId as DagNodeId;
+use grid3_workflow::dagman::{DagManager, DagState, FailureAction};
+use grid3_workflow::mop::CmsTask;
+use std::collections::HashMap;
+
+use super::fabric::{ActiveJob, ExecutionFate, Phase, TransferPurpose, NO_TRANSFER};
+use super::{BrokeringEvent, EngineCtx, GridEvent, GridFabric, StagingEvent, Subsystem};
+
+/// Base backoff before a failed campaign node is resubmitted (§4.2 DAGMan
+/// retry semantics). Doubles with each consecutive failure of the node, so
+/// a 5-retry budget spans ~31 h — longer than the worst §6.2 disk-full
+/// cleanup (up to 20 h) that would otherwise eat every retry.
+const CAMPAIGN_RETRY_BASE_DELAY: SimDuration = SimDuration::from_mins(30);
+
+/// The brokering subsystem (see the module docs).
+pub struct Brokering {
+    broker: Broker,
+    /// Jobs waiting out a retry backoff before re-brokering:
+    /// `(spec, vo_affinity, attempts already made)`.
+    retry_state: HashMap<JobId, (JobSpec, f64, u32)>,
+    /// Jobs whose broker found no eligible site.
+    pub(crate) unplaced_jobs: u64,
+    campaigns: Vec<(String, DagManager<CmsTask>)>,
+    campaign_job_map: HashMap<JobId, (usize, DagNodeId)>,
+    /// Per-node retry backoff: a node listed here stays Ready but is not
+    /// resubmitted before the stored time, even if another tick fires first.
+    campaign_hold: HashMap<(usize, DagNodeId), SimTime>,
+    /// Open DAGMan node spans (released → outcome fed back).
+    dagman_spans: HashMap<JobId, SpanId>,
+}
+
+impl Brokering {
+    /// Build the subsystem around the assembled campaign table.
+    pub(crate) fn new(campaigns: Vec<(String, DagManager<CmsTask>)>) -> Self {
+        Brokering {
+            broker: Broker::default(),
+            retry_state: HashMap::new(),
+            unplaced_jobs: 0,
+            campaigns,
+            campaign_job_map: HashMap::new(),
+            campaign_hold: HashMap::new(),
+            dagman_spans: HashMap::new(),
+        }
+    }
+
+    /// Jobs currently parked in a retry backoff awaiting re-brokering.
+    pub(crate) fn parked_jobs(&self) -> usize {
+        self.retry_state.len()
+    }
+
+    /// Per-campaign progress: `(dataset, state, done, total)`.
+    pub fn campaign_progress(&self) -> Vec<(String, DagState, usize, usize)> {
+        self.campaigns
+            .iter()
+            .map(|(name, mgr)| {
+                (
+                    name.clone(),
+                    mgr.dag_state(),
+                    mgr.done_count(),
+                    mgr.dag().len(),
+                )
+            })
+            .collect()
+    }
+
+    /// Submit one job specification through the full §6.1 pipeline.
+    /// `campaign` tags jobs owned by a DAG campaign so terminal outcomes
+    /// feed back into its DAGMan instance.
+    fn submit_spec(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+        now: SimTime,
+        spec: JobSpec,
+        affinity: f64,
+        campaign: Option<(usize, DagNodeId)>,
+    ) -> JobId {
+        let job = fabric.job_ids.next_id();
+        if let Some(tag) = campaign {
+            self.campaign_job_map.insert(job, tag);
+        }
+        ctx.traces.open(job, spec.class, spec.user, now);
+        // Engine-level lifecycle span, linked by the TraceStore job id;
+        // closed by the terminal funnel for every terminal path.
+        if ctx.telemetry.is_enabled() {
+            let span = ctx
+                .telemetry
+                .span_enter(now, "engine", "job", Some(u64::from(job.0)));
+            fabric.job_spans.insert(job, span);
+        }
+        self.try_place(ctx, fabric, now, job, spec, affinity, 0);
+        job
+    }
+
+    /// Whether a transient placement failure on `attempt` gets another
+    /// try under the resilience layer's retry policy.
+    fn can_retry(fabric: &GridFabric, attempt: u32) -> bool {
+        fabric
+            .resilience
+            .as_ref()
+            .is_some_and(|r| r.config().retry.allows(attempt))
+    }
+
+    /// Park a job for re-brokering after its backoff (deterministically
+    /// jittered per job+attempt so synchronized refusals decorrelate).
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_retry(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+        now: SimTime,
+        job: JobId,
+        spec: JobSpec,
+        affinity: f64,
+        attempt: u32,
+    ) {
+        let delay = fabric
+            .resilience
+            .as_ref()
+            .expect("retry implies resilience")
+            .config()
+            .retry
+            .delay(attempt, u64::from(job.0));
+        self.retry_state.insert(job, (spec, affinity, attempt + 1));
+        ctx.queue.schedule_at(
+            now + delay,
+            GridEvent::Brokering(BrokeringEvent::RetryPlace(job)),
+        );
+        if let Some(r) = &mut fabric.resilience {
+            r.retries_scheduled += 1;
+        }
+        ctx.telemetry.counter_add("resilience", "retry", "gram", 1);
+    }
+
+    /// One placement attempt: broker (consulting the blacklist) →
+    /// gatekeeper → reservations → stage-in. Transient failures re-enter
+    /// through [`BrokeringEvent::RetryPlace`] until the retry budget runs
+    /// out.
+    #[allow(clippy::too_many_arguments)]
+    fn try_place(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+        now: SimTime,
+        job: JobId,
+        spec: JobSpec,
+        affinity: f64,
+        attempt: u32,
+    ) {
+        // Candidate records: fresh in MDS and currently online.
+        let records = fabric.center.mds.fresh_records(now);
+        let online: Vec<&GlueRecord> = records
+            .into_iter()
+            .filter(|r| fabric.topo.is_online(r.site, now))
+            .collect();
+        // The health veto from the resilience layer (empty in baseline
+        // runs, so `select_filtered` degenerates to `select`).
+        let banned: Vec<SiteId> = match &fabric.resilience {
+            Some(r) => online
+                .iter()
+                .map(|rec| rec.site)
+                .filter(|s| r.is_banned(*s, now))
+                .collect(),
+            None => Vec::new(),
+        };
+        let selected =
+            self.broker
+                .select_filtered(&spec, affinity, &online, &mut ctx.broker_rng, |s| {
+                    banned.contains(&s)
+                });
+        let Some(site) = selected else {
+            // An empty grid view is usually transient (MDS records expired
+            // during a monitoring gap, or every candidate mid-outage):
+            // worth a backoff-retry before declaring the job unplaceable.
+            if Self::can_retry(fabric, attempt) {
+                self.schedule_retry(ctx, fabric, now, job, spec, affinity, attempt);
+                return;
+            }
+            self.unplaced_jobs += 1;
+            ctx.traces
+                .record(job, now, TraceEvent::Failed(FailureCause::NoEligibleSite));
+            fabric.finish_job_record(
+                ctx,
+                now,
+                job,
+                &spec,
+                SiteId(0),
+                now,
+                None,
+                SimDuration::ZERO,
+                Bytes::ZERO,
+                JobOutcome::Failed(FailureCause::NoEligibleSite),
+            );
+            return;
+        };
+
+        ctx.traces.record(job, now, TraceEvent::Brokered { site });
+
+        // Gatekeeper submission (§6.4 load model). A stale MDS record can
+        // route a job to a site whose services have since crashed.
+        let gram_span = if ctx.telemetry.is_enabled() {
+            Some(
+                ctx.telemetry
+                    .span_enter(now, "gram", "manage_job", Some(u64::from(job.0))),
+            )
+        } else {
+            None
+        };
+        if let Err(err) =
+            fabric.gatekeepers[site.index()].submit(job, spec.staging_load_factor(), now)
+        {
+            if let Some(span) = gram_span {
+                ctx.telemetry.span_error(now, span);
+            }
+            ctx.traces.record(job, now, TraceEvent::GatekeeperRefused);
+            // Transient refusals (overload, service down) back off and
+            // re-broker instead of dying on first contact — the GRAM
+            // retry policy decides which errors are worth it.
+            let retry = fabric
+                .resilience
+                .as_ref()
+                .is_some_and(|r| r.config().retry.should_retry(attempt, &err));
+            if retry {
+                self.schedule_retry(ctx, fabric, now, job, spec, affinity, attempt);
+                return;
+            }
+            let cause = match err {
+                grid3_middleware::gram::GramError::Overloaded { .. } => {
+                    FailureCause::GatekeeperOverload
+                }
+                _ => FailureCause::ServiceFailure,
+            };
+            ctx.traces.record(job, now, TraceEvent::Failed(cause));
+            fabric.finish_job_record(
+                ctx,
+                now,
+                job,
+                &spec,
+                site,
+                now,
+                None,
+                SimDuration::ZERO,
+                Bytes::ZERO,
+                JobOutcome::Failed(cause),
+            );
+            return;
+        }
+        if let Some(span) = gram_span {
+            fabric.gram_spans.insert(job, span);
+        }
+
+        // Optional SRM-style reservations (the §8 ablation): scratch at
+        // the execution site and output space at the VO archive, both
+        // claimed up-front so later disk-full incidents cannot take the
+        // job down.
+        let vo = spec.class.vo();
+        let archive = fabric.topo.archive_site(vo);
+        let mut reservation = None;
+        let mut archive_reservation = None;
+        if fabric.cfg.srm_reservations {
+            let scratch = spec.input_bytes + spec.scratch_bytes;
+            let fail_disk_full = |fabric: &mut GridFabric, ctx: &mut EngineCtx, job| {
+                fabric.gatekeepers[site.index()].job_done(job).ok();
+                fabric.finish_job_record(
+                    ctx,
+                    now,
+                    job,
+                    &spec,
+                    site,
+                    now,
+                    None,
+                    SimDuration::ZERO,
+                    Bytes::ZERO,
+                    JobOutcome::Failed(FailureCause::DiskFull),
+                );
+            };
+            match fabric.sites[site.index()].storage.reserve(scratch) {
+                Ok(r) => reservation = Some(r),
+                Err(_) => {
+                    fail_disk_full(fabric, ctx, job);
+                    return;
+                }
+            }
+            match fabric.sites[archive.index()]
+                .storage
+                .reserve(spec.output_bytes)
+            {
+                Ok(r) => archive_reservation = Some(r),
+                Err(_) => {
+                    if let Some(r) = reservation {
+                        let _ = fabric.sites[site.index()].storage.release(r);
+                    }
+                    fail_disk_full(fabric, ctx, job);
+                    return;
+                }
+            }
+        }
+
+        let src = archive;
+        let input = spec.input_bytes;
+        fabric.jobs.insert(
+            job,
+            ActiveJob {
+                spec,
+                site,
+                submitted: now,
+                started: None,
+                phase: Phase::StagingIn,
+                fate: ExecutionFate::Success,
+                exec_duration: SimDuration::ZERO,
+                transferred: Bytes::ZERO,
+                reservation,
+                archive_reservation,
+                scratch_lfn: None,
+            },
+        );
+
+        ctx.traces.record(job, now, TraceEvent::GatekeeperAccepted);
+        ctx.traces
+            .record(job, now, TraceEvent::StageInStarted { bytes: input });
+
+        // Pre-stage input from the VO archive (zero-byte or local inputs
+        // skip the wire).
+        if input.is_zero() || src == site {
+            ctx.queue.schedule_at(
+                now,
+                GridEvent::Staging(StagingEvent::StageInDone(job, NO_TRANSFER)),
+            );
+        } else {
+            match fabric.gridftp.start(
+                grid3_middleware::gridftp::TransferRequest {
+                    src,
+                    dst: site,
+                    bytes: input,
+                    vo,
+                },
+                now,
+            ) {
+                Ok((xfer, finish)) => {
+                    fabric
+                        .transfer_purpose
+                        .insert(xfer, TransferPurpose::JobStageIn(job));
+                    fabric.open_transfer_span(ctx, now, xfer, "stage_in", Some(u64::from(job.0)));
+                    ctx.queue.schedule_at(
+                        finish,
+                        GridEvent::Staging(StagingEvent::StageInDone(job, xfer)),
+                    );
+                }
+                Err(_) => {
+                    // The transfer could not even start: one end's GridFTP
+                    // door is down (often the *archive*, which a healthy
+                    // execution site can do nothing about). Re-broker
+                    // after backoff rather than dying on the spot.
+                    if Self::can_retry(fabric, attempt) {
+                        self.park_for_retry(ctx, fabric, now, job, affinity, attempt);
+                    } else {
+                        fabric.fail_active_job(ctx, now, job, FailureCause::StageInFailure);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Undo a placement whose stage-in could not start — release the
+    /// gatekeeper slot and reservations — and park the job for a
+    /// re-brokered retry.
+    fn park_for_retry(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+        now: SimTime,
+        job: JobId,
+        affinity: f64,
+        attempt: u32,
+    ) {
+        let Some(j) = fabric.jobs.remove(&job) else {
+            return;
+        };
+        fabric.release_job_resources(&j, job);
+        if let Some(span) = fabric.gram_spans.remove(&job) {
+            ctx.telemetry.span_error(now, span);
+        }
+        self.schedule_retry(ctx, fabric, now, job, j.spec, affinity, attempt);
+    }
+
+    fn on_campaign_tick(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+        now: SimTime,
+        idx: usize,
+    ) {
+        // Release the currently ready nodes (the DagManager enforces the
+        // throttle) and submit them through the normal pipeline. CMS
+        // production favoured its own sites (§6.4). A single pass only:
+        // nodes that fail synchronously (gatekeeper refusal, no eligible
+        // site) re-enter Ready and are picked up by the delayed retry tick
+        // that `notify_campaign` schedules, instead of burning every retry
+        // at the same instant against the same transient outage.
+        let ready = self.campaigns[idx].1.ready_nodes();
+        let mut next_hold: Option<SimTime> = None;
+        for node in ready {
+            // A node still inside its retry backoff window stays Ready; it
+            // is resubmitted by the follow-up tick below, not instantly by
+            // a tick queued for a *sibling's* outcome — which would burn
+            // its retries against the same outage.
+            if let Some(&hold) = self.campaign_hold.get(&(idx, node)) {
+                if now < hold {
+                    next_hold = Some(next_hold.map_or(hold, |h: SimTime| h.min(hold)));
+                    continue;
+                }
+                self.campaign_hold.remove(&(idx, node));
+            }
+            self.campaigns[idx].1.mark_submitted(node);
+            let spec = self.campaigns[idx].1.dag().payload(node).spec.clone();
+            let job = self.submit_spec(ctx, fabric, now, spec, 0.5, Some((idx, node)));
+            if ctx.telemetry.is_enabled() && self.campaign_job_map.contains_key(&job) {
+                let span = ctx
+                    .telemetry
+                    .span_enter(now, "dagman", "node", Some(u64::from(job.0)));
+                self.dagman_spans.insert(job, span);
+            }
+        }
+        // Every held node needs a tick at its hold expiry, or the DAG could
+        // stall with nothing active and everything backing off.
+        if let Some(at) = next_hold {
+            ctx.queue
+                .schedule_at(at, GridEvent::Brokering(BrokeringEvent::CampaignTick(idx)));
+        }
+    }
+
+    /// Feed a campaign job's terminal outcome back into its DAGMan.
+    ///
+    /// Successful completions release children immediately; failures that
+    /// still have retries left are re-queued after
+    /// [`CAMPAIGN_RETRY_BASE_DELAY`] backoff — mirroring real DAGMan,
+    /// whose RETRY nodes wait for the next submit cycle rather than
+    /// resubmitting into the same outage.
+    fn notify_campaign(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &GridFabric,
+        now: SimTime,
+        job: JobId,
+        success: bool,
+    ) {
+        let Some((idx, node)) = self.campaign_job_map.remove(&job) else {
+            return;
+        };
+        if let Some(span) = self.dagman_spans.remove(&job) {
+            if success {
+                ctx.telemetry.span_exit(now, span);
+            } else {
+                ctx.telemetry.span_error(now, span);
+            }
+        }
+        let mgr = &mut self.campaigns[idx].1;
+        let delay = if success {
+            mgr.mark_done(node);
+            SimDuration::ZERO
+        } else {
+            match mgr.mark_failed(node) {
+                FailureAction::Retry { remaining } => {
+                    // Exponential backoff: the k-th consecutive failure of
+                    // a node waits base·2^k, outliving transient outages.
+                    let budget = fabric.cfg.campaigns[idx].retries;
+                    let used = budget.saturating_sub(remaining).min(8);
+                    let delay = CAMPAIGN_RETRY_BASE_DELAY * (1u64 << used) as f64;
+                    self.campaign_hold.insert((idx, node), now + delay);
+                    delay
+                }
+                FailureAction::Permanent => return,
+            }
+        };
+        // Re-tick whenever more work could start: children just released,
+        // a retry re-queued, or a throttle slot freed with Ready nodes
+        // still pending.
+        if mgr.has_ready_work() {
+            ctx.queue.schedule_at(
+                now + delay,
+                GridEvent::Brokering(BrokeringEvent::CampaignTick(idx)),
+            );
+        }
+    }
+}
+
+impl Subsystem for Brokering {
+    type Event = BrokeringEvent;
+
+    const NAME: &'static str = "brokering";
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: BrokeringEvent,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+    ) {
+        match event {
+            BrokeringEvent::Submit(sub, affinity) => {
+                self.submit_spec(ctx, fabric, now, sub.spec, affinity, None);
+            }
+            BrokeringEvent::RetryPlace(job) => {
+                if let Some((spec, affinity, attempt)) = self.retry_state.remove(&job) {
+                    self.try_place(ctx, fabric, now, job, spec, affinity, attempt);
+                }
+            }
+            BrokeringEvent::CampaignTick(idx) => self.on_campaign_tick(ctx, fabric, now, idx),
+            BrokeringEvent::CampaignOutcome(job, success) => {
+                self.notify_campaign(ctx, fabric, now, job, success)
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Shared grid state: the fabric every subsystem may consult.
+//!
+//! The paper's operations model (§5) hangs off a shared site-status
+//! catalog that every party — submitters, operators, monitors — reads
+//! and annotates. [`GridFabric`] is that status board for the engine:
+//! the physical plant (sites, gatekeepers, GridFTP doors), the common
+//! middleware services (RLS, VOMS, CA, the iGOC), the active-job table,
+//! and the resilience layer's health scores. Subsystem-*private* state
+//! (the broker's retry ledger, the staging LFN allocator, the accounting
+//! databases) lives inside the owning subsystem instead and is reachable
+//! only via routed events.
+//!
+//! The fabric also hosts the terminal-path funnel
+//! ([`GridFabric::fail_active_job`] / [`GridFabric::complete_active_job`]
+//! / [`GridFabric::finish_job_record`]): every job death or completion,
+//! from whichever subsystem, funnels through it exactly once, emitting
+//! the same immediate-event triple — record ingestion (reporting), site
+//! outcome (fault handling), campaign feedback (brokering) — in the
+//! monolith's original call order.
+
+use crate::resilience::ResilienceLayer;
+use crate::scenario::ScenarioConfig;
+use crate::topology::Topology;
+use grid3_igoc::center::OperationsCenter;
+use grid3_igoc::tickets::{TicketKind, TicketStatus};
+use grid3_middleware::gram::Gatekeeper;
+use grid3_middleware::gridftp::GridFtp;
+use grid3_middleware::gsi::CertificateAuthority;
+use grid3_middleware::rls::ReplicaLocationService;
+use grid3_middleware::voms::VomsServer;
+use grid3_monitoring::trace::TraceEvent;
+use grid3_simkit::ids::{FileId, JobId, JobIdGen, SiteId, TransferId};
+use grid3_simkit::series::GaugeTracker;
+use grid3_simkit::telemetry::SpanId;
+use grid3_simkit::time::{SimDuration, SimTime};
+use grid3_simkit::units::Bytes;
+use grid3_site::cluster::Site;
+use grid3_site::job::{FailureCause, JobOutcome, JobRecord, JobSpec};
+use grid3_site::storage::ReservationId;
+use std::collections::HashMap;
+
+use super::{BrokeringEvent, EngineCtx, FaultEvent, GridEvent, ReportingEvent};
+
+/// Sentinel transfer id for "no transfer was needed".
+pub const NO_TRANSFER: TransferId = TransferId(u32::MAX);
+
+/// Phase of an active job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Input data is on the wire to the execution site.
+    StagingIn,
+    /// Waiting in the site's batch queue.
+    Queued,
+    /// Executing on a worker node.
+    Running,
+    /// Output data is on the wire to the VO archive.
+    StagingOut,
+}
+
+/// How a running job is predetermined to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionFate {
+    /// Completes its work; proceeds to stage-out.
+    Success,
+    /// Dies of uncorrelated random loss (§6.2 "few random job losses").
+    RandomLoss,
+    /// Batch system kills it at the walltime limit.
+    Walltime,
+    /// Trips a latent site misconfiguration shortly after starting.
+    Misconfig,
+}
+
+/// One job in flight, from gatekeeper acceptance to its terminal record.
+#[derive(Debug, Clone)]
+pub struct ActiveJob {
+    /// The job's resource requirements and data volumes.
+    pub spec: JobSpec,
+    /// The execution site the broker chose.
+    pub site: SiteId,
+    /// When the gatekeeper accepted it.
+    pub submitted: SimTime,
+    /// When it started executing (if it got that far).
+    pub started: Option<SimTime>,
+    /// Current lifecycle phase.
+    pub phase: Phase,
+    /// Predetermined execution outcome.
+    pub fate: ExecutionFate,
+    /// Scheduled execution span (drawn at dispatch).
+    pub exec_duration: SimDuration,
+    /// Bytes moved on this job's behalf so far.
+    pub transferred: Bytes,
+    /// SRM-style scratch reservation at the execution site.
+    pub reservation: Option<ReservationId>,
+    /// SRM-style output reservation at the VO archive.
+    pub archive_reservation: Option<ReservationId>,
+    /// LFN of the staged input on the site SE.
+    pub scratch_lfn: Option<FileId>,
+}
+
+/// What an in-flight transfer is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferPurpose {
+    /// Pre-staging a job's input.
+    JobStageIn(JobId),
+    /// Archiving a job's output.
+    JobStageOut(JobId),
+    /// An Entrada demonstrator matrix transfer.
+    Demo,
+}
+
+/// The shared grid state (see the module docs for the ownership rules).
+pub struct GridFabric {
+    /// The configuration in force.
+    pub cfg: ScenarioConfig,
+    /// The topology in force.
+    pub topo: Topology,
+    /// The sites, indexed by `SiteId`.
+    pub sites: Vec<Site>,
+    /// Per-site gatekeepers.
+    pub gatekeepers: Vec<Gatekeeper>,
+    /// The GridFTP fabric.
+    pub gridftp: GridFtp,
+    /// The replica location service.
+    pub rls: ReplicaLocationService,
+    /// The operations center (MDS, status catalog, tickets, …).
+    pub center: OperationsCenter,
+    /// Per-VO VOMS servers.
+    pub voms: Vec<VomsServer>,
+    /// The DOEGrids-style CA.
+    pub ca: CertificateAuthority,
+    /// The adaptive fault-handling layer (`None` for baseline runs) —
+    /// the shared health/blacklist status board the broker consults and
+    /// the fault subsystem feeds.
+    pub resilience: Option<ResilienceLayer>,
+    /// Concurrent-running-jobs gauge (§7 peak metric).
+    pub job_gauge: GaugeTracker,
+    /// Jobs in flight, from gatekeeper acceptance to terminal record.
+    pub jobs: HashMap<JobId, ActiveJob>,
+    /// Grid-wide job id allocator.
+    pub job_ids: JobIdGen,
+    /// What each in-flight GridFTP transfer is for.
+    pub transfer_purpose: HashMap<TransferId, TransferPurpose>,
+    /// Open engine-level "job" spans (submit → terminal record).
+    pub job_spans: HashMap<JobId, SpanId>,
+    /// Open gatekeeper spans (accepted → resources released).
+    pub gram_spans: HashMap<JobId, SpanId>,
+    /// Open GridFTP transfer spans (start → complete/failure).
+    pub transfer_spans: HashMap<TransferId, SpanId>,
+}
+
+impl GridFabric {
+    /// Ship the GridFTP NetLogger event stream to the iGOC archive
+    /// (§4.7's central collection point).
+    pub fn drain_netlogger(&mut self) {
+        let events = self.gridftp.drain_log();
+        self.center.netlogger.ingest_all(events.iter());
+    }
+
+    /// Open a GridFTP transfer span (no-op when telemetry is disabled).
+    pub fn open_transfer_span(
+        &mut self,
+        ctx: &mut EngineCtx,
+        now: SimTime,
+        xfer: TransferId,
+        op: &'static str,
+        job: Option<u64>,
+    ) {
+        if ctx.telemetry.is_enabled() {
+            let span = ctx.telemetry.span_enter(now, "gridftp", op, job);
+            self.transfer_spans.insert(xfer, span);
+        }
+    }
+
+    /// Close a transfer span, as an error when the transfer died.
+    pub fn close_transfer_span(
+        &mut self,
+        ctx: &mut EngineCtx,
+        now: SimTime,
+        xfer: TransferId,
+        errored: bool,
+    ) {
+        if let Some(span) = self.transfer_spans.remove(&xfer) {
+            if errored {
+                ctx.telemetry.span_error(now, span);
+            } else {
+                ctx.telemetry.span_exit(now, span);
+            }
+        }
+    }
+
+    /// Kill staging/queued (not running) jobs at a site.
+    pub fn kill_non_running(
+        &mut self,
+        ctx: &mut EngineCtx,
+        now: SimTime,
+        site: SiteId,
+        cause: FailureCause,
+    ) {
+        let queued = self.sites[site.index()].kill_all_queued();
+        for qj in queued {
+            self.fail_active_job(ctx, now, qj.job, cause);
+        }
+        let mut staging: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.site == site && j.phase == Phase::StagingIn)
+            .map(|(id, _)| *id)
+            .collect();
+        staging.sort();
+        for job in staging {
+            self.fail_active_job(ctx, now, job, cause);
+        }
+    }
+
+    /// Fail transfers touching a site, cascading to their jobs.
+    pub fn fail_site_transfers(
+        &mut self,
+        ctx: &mut EngineCtx,
+        now: SimTime,
+        site: SiteId,
+        cause: FailureCause,
+    ) {
+        let failed = self.gridftp.fail_site(site, now);
+        for outcome in failed {
+            // Partial bytes still moved over the wire before the failure.
+            self.close_transfer_span(ctx, now, outcome.id, true);
+            ctx.emit(GridEvent::Reporting(ReportingEvent::CreditTransfer(
+                outcome.request.vo,
+                outcome.delivered,
+            )));
+            match self.transfer_purpose.remove(&outcome.id) {
+                Some(TransferPurpose::JobStageIn(j)) | Some(TransferPurpose::JobStageOut(j)) => {
+                    self.fail_active_job(ctx, now, j, cause);
+                }
+                Some(TransferPurpose::Demo) | None => {}
+            }
+        }
+    }
+
+    /// Resolve a site's open tickets when an outage ends (failure-storm
+    /// tickets resolve through their own repair event instead).
+    pub fn resolve_site_tickets(&mut self, site: SiteId, now: SimTime) {
+        let open: Vec<_> = self
+            .center
+            .tickets
+            .for_site(site)
+            .filter(|t| matches!(t.status, TicketStatus::Open))
+            .filter(|t| t.kind != TicketKind::FailureStorm)
+            .map(|t| t.id)
+            .collect();
+        for id in open {
+            self.center.tickets.resolve(id, now);
+        }
+    }
+
+    /// Terminate an in-flight job with a failure cause, releasing its
+    /// resources and funnelling the terminal record.
+    pub fn fail_active_job(
+        &mut self,
+        ctx: &mut EngineCtx,
+        now: SimTime,
+        job: JobId,
+        cause: FailureCause,
+    ) {
+        let Some(j) = self.jobs.remove(&job) else {
+            return;
+        };
+        if j.phase == Phase::Running {
+            // Killed under execution (rollover / crash): close the CPU
+            // accounting span before the terminal event.
+            ctx.traces.record(job, now, TraceEvent::ExecutionEnded);
+        }
+        ctx.traces.record(job, now, TraceEvent::Failed(cause));
+        self.release_job_resources(&j, job);
+        let runtime = j.started.map(|s| now.since(s)).unwrap_or(SimDuration::ZERO);
+        // A job killed mid-flight consumed CPU until now (capped at its
+        // scheduled execution span).
+        let runtime = if j.exec_duration.is_zero() {
+            runtime
+        } else {
+            runtime.min(j.exec_duration)
+        };
+        self.finish_job_record(
+            ctx,
+            now,
+            job,
+            &j.spec,
+            j.site,
+            j.submitted,
+            j.started,
+            runtime,
+            j.transferred,
+            JobOutcome::Failed(cause),
+        );
+    }
+
+    /// Terminate an in-flight job as fully completed (§6.1: every
+    /// lifecycle step succeeded).
+    pub fn complete_active_job(&mut self, ctx: &mut EngineCtx, now: SimTime, job: JobId) {
+        let Some(j) = self.jobs.remove(&job) else {
+            return;
+        };
+        ctx.traces.record(job, now, TraceEvent::Completed);
+        self.release_job_resources(&j, job);
+        let started = j.started.expect("completed job ran");
+        self.finish_job_record(
+            ctx,
+            now,
+            job,
+            &j.spec,
+            j.site,
+            j.submitted,
+            Some(started),
+            j.exec_duration,
+            j.transferred,
+            JobOutcome::Completed,
+        );
+    }
+
+    /// Return a job's gatekeeper slot, scratch data and reservations.
+    pub(crate) fn release_job_resources(&mut self, j: &ActiveJob, job: JobId) {
+        self.gatekeepers[j.site.index()].job_done(job).ok();
+        if let Some(lfn) = j.scratch_lfn {
+            let _ = self.sites[j.site.index()].storage.delete(lfn);
+        }
+        if let Some(r) = j.reservation {
+            let _ = self.sites[j.site.index()].storage.release(r);
+        }
+        if let Some(r) = j.archive_reservation {
+            let archive = self.topo.archive_site(j.spec.class.vo());
+            let _ = self.sites[archive.index()].storage.release(r);
+        }
+    }
+
+    /// The single terminal funnel: close the job's spans, then emit the
+    /// immediate triple — record ingestion (reporting), site outcome
+    /// (fault handling), campaign feedback (brokering) — in the
+    /// monolith's original call order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn finish_job_record(
+        &mut self,
+        ctx: &mut EngineCtx,
+        now: SimTime,
+        job: JobId,
+        spec: &JobSpec,
+        site: SiteId,
+        submitted: SimTime,
+        started: Option<SimTime>,
+        runtime: SimDuration,
+        transferred: Bytes,
+        outcome: JobOutcome,
+    ) {
+        // Every terminal path funnels through here exactly once, so this
+        // is where the engine and gatekeeper spans close.
+        if let Some(span) = self.job_spans.remove(&job) {
+            if outcome.is_success() {
+                ctx.telemetry.span_exit(now, span);
+            } else {
+                ctx.telemetry.span_error(now, span);
+            }
+        }
+        if let Some(span) = self.gram_spans.remove(&job) {
+            ctx.telemetry.span_exit(now, span);
+        }
+        let record = JobRecord {
+            job,
+            class: spec.class,
+            user: spec.user,
+            site,
+            submitted,
+            started,
+            finished: now,
+            runtime,
+            transferred,
+            outcome,
+        };
+        ctx.emit(GridEvent::Reporting(ReportingEvent::JobFinished(Box::new(
+            record,
+        ))));
+        ctx.emit(GridEvent::Fault(FaultEvent::JobOutcome(site, outcome)));
+        ctx.emit(GridEvent::Brokering(BrokeringEvent::CampaignOutcome(
+            job,
+            outcome.is_success(),
+        )));
+    }
+}

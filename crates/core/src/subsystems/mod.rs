@@ -1,0 +1,245 @@
+//! The routed subsystem services the grid engine is composed of.
+//!
+//! The former monolithic engine handled every event and owned every piece
+//! of state in one `impl` block. It is now split along the paper's own
+//! operational seams into five services, each implementing [`Subsystem`]:
+//!
+//! * [`Brokering`](brokering::Brokering) — workload intake, §6.4 site
+//!   selection, GRAM submission with retry/backoff, and the DAGMan
+//!   campaign feedback loop (§4.2).
+//! * [`Staging`](staging::Staging) — GridFTP stage-in/stage-out, SE
+//!   placement, RLS registration, and the Entrada demonstrator (§4.7).
+//! * [`Execution`](execution::Execution) — batch dispatch and the
+//!   predetermined execution fates (§6.2's per-job loss models).
+//! * [`FaultHandling`](fault::FaultHandling) — site incidents, outage
+//!   restores, the failure-storm repair loop, and the §7 per-state
+//!   completion ledger.
+//! * [`Reporting`](reporting::Reporting) — monitoring sweeps (§4.7) and
+//!   the ACDC/MDViewer accounting databases (Table 1, the figures).
+//!
+//! Subsystems never call each other. Every cross-subsystem interaction is
+//! an emitted [`GridEvent`] dispatched by the engine's typed router:
+//! timed events go through the [`EventQueue`] (and are profiled exactly
+//! like before the split), while *immediate* events — the former direct
+//! method calls — are drained depth-first in emission order, which
+//! reproduces the monolith's synchronous call sequences bit-for-bit.
+//! Genuinely shared grid state (the sites, the middleware fabric, the
+//! active-job table, the resilience status board) lives in
+//! [`GridFabric`], mirroring §5's shared site-status catalog: every
+//! subsystem may consult it, but subsystem-private state is reachable
+//! only via events.
+
+pub mod assembly;
+pub mod brokering;
+pub mod execution;
+pub mod fabric;
+pub mod fault;
+pub mod reporting;
+pub mod staging;
+
+pub use fabric::GridFabric;
+
+use grid3_apps::workloads::Submission;
+use grid3_simkit::engine::{EventLabel, EventQueue};
+use grid3_simkit::ids::{JobId, SiteId, TransferId};
+use grid3_simkit::rng::SimRng;
+use grid3_simkit::telemetry::Telemetry;
+use grid3_simkit::time::SimTime;
+use grid3_simkit::units::Bytes;
+use grid3_site::failure::FailureEvent;
+use grid3_site::job::{JobOutcome, JobRecord};
+use grid3_site::vo::Vo;
+
+/// One routed service of the grid engine.
+///
+/// A subsystem owns its private state and consumes exactly one event
+/// type. It receives the shared services in [`EngineCtx`] (event queue,
+/// RNG streams, telemetry, trace store) and the shared grid state in
+/// [`GridFabric`]; everything else it wants done it requests by emitting
+/// events through [`EngineCtx::emit`] or [`EventQueue::schedule_at`].
+pub trait Subsystem {
+    /// The event type this subsystem consumes.
+    type Event;
+
+    /// Stable subsystem name, for diagnostics and documentation.
+    const NAME: &'static str;
+
+    /// Handle one event firing at `now`.
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+    );
+}
+
+/// Events consumed by the brokering subsystem.
+#[derive(Debug, Clone)]
+pub enum BrokeringEvent {
+    /// A workload submission reaches the broker (with its VO affinity).
+    Submit(Box<Submission>, f64),
+    /// Re-broker a job whose placement hit a transient failure, after
+    /// its GRAM retry backoff elapsed.
+    RetryPlace(JobId),
+    /// Release ready nodes of a DAG campaign (index into the campaign
+    /// table).
+    CampaignTick(usize),
+    /// Immediate: a terminal job outcome feeds back into its campaign's
+    /// DAGMan (`true` = success).
+    CampaignOutcome(JobId, bool),
+}
+
+/// Events consumed by the staging subsystem.
+#[derive(Debug, Clone)]
+pub enum StagingEvent {
+    /// A job's stage-in transfer finished.
+    StageInDone(JobId, TransferId),
+    /// A job's stage-out transfer finished.
+    StageOutDone(JobId, TransferId),
+    /// Immediate: a job's execution succeeded; move its output to the VO
+    /// archive.
+    BeginStageOut(JobId),
+    /// One Entrada transfer-matrix round.
+    EntradaRound,
+    /// A demo transfer finished.
+    DemoTransferDone(TransferId),
+}
+
+/// Events consumed by the execution subsystem.
+#[derive(Debug, Clone)]
+pub enum ExecutionEvent {
+    /// Try to dispatch queued work at a site.
+    TryDispatch(SiteId),
+    /// A job's execution reached its predetermined end.
+    ExecutionEnds(JobId),
+}
+
+/// Events consumed by the fault-handling subsystem.
+#[derive(Debug, Clone)]
+pub enum FaultEvent {
+    /// A site incident fires.
+    Incident(SiteId, FailureEvent),
+    /// Grid services restored after a crash.
+    ServiceRestore(SiteId),
+    /// WAN restored after a cut.
+    NetworkRestore(SiteId),
+    /// Worker nodes back after a rollover.
+    NodesRestore(SiteId),
+    /// Operators reclaimed external disk usage.
+    DiskCleanup(SiteId, Bytes),
+    /// A failure-storm ticket's repair lands: re-validate the site.
+    SiteRepaired(SiteId),
+    /// Immediate: bucket a terminal outcome by site state and feed the
+    /// resilience layer's health window.
+    JobOutcome(SiteId, JobOutcome),
+}
+
+/// Events consumed by the reporting subsystem.
+#[derive(Debug, Clone)]
+pub enum ReportingEvent {
+    /// Periodic monitoring sweep (GRIS republish, agents, probes).
+    MonitorTick,
+    /// Immediate: a job reached a terminal state; ingest its record into
+    /// the accounting databases.
+    JobFinished(Box<JobRecord>),
+    /// Immediate: bytes moved over the wire; credit the VO's transfer
+    /// accounting.
+    CreditTransfer(Vo, Bytes),
+}
+
+/// The routed event envelope: one variant per subsystem, plus the
+/// engine-level [`GridEvent::Timer`].
+#[derive(Debug, Clone)]
+pub enum GridEvent {
+    /// Routed to [`brokering::Brokering`].
+    Brokering(BrokeringEvent),
+    /// Routed to [`staging::Staging`].
+    Staging(StagingEvent),
+    /// Routed to [`execution::Execution`].
+    Execution(ExecutionEvent),
+    /// Routed to [`fault::FaultHandling`].
+    Fault(FaultEvent),
+    /// Routed to [`reporting::Reporting`].
+    Reporting(ReportingEvent),
+    /// Immediate-only: insert the inner event into the time queue at the
+    /// given instant. Emitted *after* a handler's cascade of immediates
+    /// so the insertion order (and therefore FIFO tie-breaking) matches
+    /// the monolith, where restores were scheduled after the kill
+    /// cascades completed.
+    Timer(SimTime, Box<GridEvent>),
+}
+
+impl EventLabel for GridEvent {
+    fn label(&self) -> &'static str {
+        // Queue-entering variants keep the monolith's exact label strings
+        // so event-loop profiles stay comparable across the refactor.
+        // Immediate-only variants never enter the queue, so their labels
+        // never reach the profiler.
+        match self {
+            GridEvent::Brokering(e) => match e {
+                BrokeringEvent::Submit(..) => "submit",
+                BrokeringEvent::RetryPlace(..) => "retry_place",
+                BrokeringEvent::CampaignTick(..) => "campaign_tick",
+                BrokeringEvent::CampaignOutcome(..) => "campaign_outcome",
+            },
+            GridEvent::Staging(e) => match e {
+                StagingEvent::StageInDone(..) => "stage_in_done",
+                StagingEvent::StageOutDone(..) => "stage_out_done",
+                StagingEvent::BeginStageOut(..) => "begin_stage_out",
+                StagingEvent::EntradaRound => "entrada_round",
+                StagingEvent::DemoTransferDone(..) => "demo_transfer_done",
+            },
+            GridEvent::Execution(e) => match e {
+                ExecutionEvent::TryDispatch(..) => "try_dispatch",
+                ExecutionEvent::ExecutionEnds(..) => "execution_ends",
+            },
+            GridEvent::Fault(e) => match e {
+                FaultEvent::Incident(..) => "incident",
+                FaultEvent::ServiceRestore(..) => "service_restore",
+                FaultEvent::NetworkRestore(..) => "network_restore",
+                FaultEvent::NodesRestore(..) => "nodes_restore",
+                FaultEvent::DiskCleanup(..) => "disk_cleanup",
+                FaultEvent::SiteRepaired(..) => "site_repaired",
+                FaultEvent::JobOutcome(..) => "job_outcome",
+            },
+            GridEvent::Reporting(e) => match e {
+                ReportingEvent::MonitorTick => "monitor_tick",
+                ReportingEvent::JobFinished(..) => "job_finished",
+                ReportingEvent::CreditTransfer(..) => "credit_transfer",
+            },
+            GridEvent::Timer(..) => "timer",
+        }
+    }
+}
+
+/// The explicit context every subsystem receives: the event queue (and
+/// with it the clock), the engine's deterministic RNG streams, the
+/// instrumentation handle, the §8 trace store, and the immediate-event
+/// buffer the router drains depth-first.
+pub struct EngineCtx {
+    /// The time-ordered event queue; `queue.now()` is the clock.
+    pub queue: EventQueue<GridEvent>,
+    /// Broker decisions draw from this stream (stream id `0xB0B`).
+    pub broker_rng: SimRng,
+    /// Execution fates and registration losses draw from this stream
+    /// (stream id `0xFA7E`).
+    pub fate_rng: SimRng,
+    /// The grid-wide instrumentation layer. A disabled handle (the
+    /// default) makes every record call a no-op branch.
+    pub telemetry: Telemetry,
+    /// The §8 troubleshooting/accounting trace store (submit-side ↔
+    /// execution-side id linkage, per-user accounting).
+    pub traces: grid3_monitoring::trace::TraceStore,
+    pub(crate) immediates: Vec<GridEvent>,
+}
+
+impl EngineCtx {
+    /// Emit an immediate event: routed depth-first, in emission order,
+    /// before the queue advances — the routed replacement for the
+    /// monolith's direct cross-subsystem method calls. Immediates never
+    /// enter the time queue, so they are not profiled as dispatches.
+    pub fn emit(&mut self, event: GridEvent) {
+        self.immediates.push(event);
+    }
+}

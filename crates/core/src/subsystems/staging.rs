@@ -1,0 +1,292 @@
+//! Staging: GridFTP stage-in/stage-out completion, storage-element
+//! placement, RLS registration (§6.1's lifecycle tail), and the Entrada
+//! GridFTP demonstrator (§4.7, §6.3).
+//!
+//! Owns the LFN allocator and the demonstrator's transfer matrix. When a
+//! stage-in lands, the job enters the batch queue and the subsystem
+//! emits an immediate [`ExecutionEvent::TryDispatch`] — the routed
+//! replacement for the monolith's direct dispatch call.
+
+use grid3_apps::demonstrators::EntradaDemo;
+use grid3_monitoring::trace::TraceEvent;
+use grid3_simkit::ids::{FileIdGen, JobId, TransferId};
+use grid3_simkit::time::SimTime;
+use grid3_site::job::FailureCause;
+use grid3_site::scheduler::QueuedJob;
+
+use super::fabric::{Phase, TransferPurpose, NO_TRANSFER};
+use super::{
+    EngineCtx, ExecutionEvent, GridEvent, GridFabric, ReportingEvent, StagingEvent, Subsystem,
+};
+
+/// The staging subsystem (see the module docs).
+pub struct Staging {
+    /// Grid-wide logical-file-name allocator.
+    lfns: FileIdGen,
+    /// The Entrada demonstrator (`None` when the scenario omits it).
+    demo: Option<EntradaDemo>,
+}
+
+impl Staging {
+    /// Build the subsystem around the assembled demonstrator.
+    pub(crate) fn new(demo: Option<EntradaDemo>) -> Self {
+        Staging {
+            lfns: FileIdGen::new(),
+            demo,
+        }
+    }
+
+    /// Book a completed transfer: close its span, credit the delivered
+    /// bytes to the VO's accounting, and grow the job's transferred tally.
+    fn book_transfer(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+        now: SimTime,
+        job: JobId,
+        xfer: TransferId,
+    ) -> bool {
+        if xfer != NO_TRANSFER {
+            if fabric.transfer_purpose.remove(&xfer).is_none() {
+                return false; // stale: the transfer already died with its site
+            }
+            fabric.close_transfer_span(ctx, now, xfer, false);
+            if let Ok(outcome) = fabric.gridftp.complete(xfer, now) {
+                ctx.emit(GridEvent::Reporting(ReportingEvent::CreditTransfer(
+                    outcome.request.vo,
+                    outcome.delivered,
+                )));
+                if let Some(j) = fabric.jobs.get_mut(&job) {
+                    j.transferred += outcome.delivered;
+                }
+            }
+        }
+        true
+    }
+
+    fn on_stage_in_done(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+        now: SimTime,
+        job: JobId,
+        xfer: TransferId,
+    ) {
+        if !self.book_transfer(ctx, fabric, now, job, xfer) {
+            return;
+        }
+        let Some(j) = fabric.jobs.get(&job) else {
+            return;
+        };
+        let site = j.site;
+        let scratch = j.spec.input_bytes + j.spec.scratch_bytes;
+        let reservation = j.reservation;
+        let vo = j.spec.class.vo();
+        let walltime = j.spec.requested_walltime;
+        let lfn = self.lfns.next_id();
+
+        // Land the staged data on the site SE.
+        let stored = match reservation {
+            Some(r) => fabric.sites[site.index()]
+                .storage
+                .store_reserved(r, lfn, scratch)
+                .is_ok(),
+            None => fabric.sites[site.index()]
+                .storage
+                .store(lfn, scratch)
+                .is_ok(),
+        };
+        if !stored {
+            fabric.fail_active_job(ctx, now, job, FailureCause::DiskFull);
+            return;
+        }
+        {
+            let j = fabric.jobs.get_mut(&job).expect("present");
+            j.reservation = None;
+            j.scratch_lfn = Some(lfn);
+            j.phase = Phase::Queued;
+        }
+        ctx.traces.record(job, now, TraceEvent::StageInDone);
+        ctx.traces.record(job, now, TraceEvent::Queued);
+        fabric.sites[site.index()].enqueue(QueuedJob {
+            job,
+            vo,
+            requested_walltime: walltime,
+            enqueued: now,
+        });
+        ctx.emit(GridEvent::Execution(ExecutionEvent::TryDispatch(site)));
+    }
+
+    fn on_stage_out_done(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+        now: SimTime,
+        job: JobId,
+        xfer: TransferId,
+    ) {
+        if !self.book_transfer(ctx, fabric, now, job, xfer) {
+            return;
+        }
+        let Some(j) = fabric.jobs.get(&job) else {
+            return;
+        };
+        let vo = j.spec.class.vo();
+        let out = j.spec.output_bytes;
+        let registers = j.spec.registers_output;
+        let archive = fabric.topo.archive_site(vo);
+        ctx.traces.record(job, now, TraceEvent::StageOutDone);
+
+        // Archive storage write (into the SRM reservation when one is
+        // held).
+        let archive_res = fabric
+            .jobs
+            .get_mut(&job)
+            .and_then(|j| j.archive_reservation.take());
+        let lfn = self.lfns.next_id();
+        let stored = match archive_res {
+            Some(r) => fabric.sites[archive.index()]
+                .storage
+                .store_reserved(r, lfn, out)
+                .is_ok(),
+            None => fabric.sites[archive.index()]
+                .storage
+                .store(lfn, out)
+                .is_ok(),
+        };
+        if !stored {
+            fabric.fail_active_job(ctx, now, job, FailureCause::StageOutFailure);
+            return;
+        }
+        // RLS registration (§6.1 counts it in the lifecycle).
+        if registers {
+            if ctx.fate_rng.chance(0.002) {
+                fabric.fail_active_job(ctx, now, job, FailureCause::RegistrationFailure);
+                return;
+            }
+            fabric.rls.register(lfn, archive, out);
+            ctx.traces.record(job, now, TraceEvent::Registered);
+        }
+        fabric.complete_active_job(ctx, now, job);
+    }
+
+    /// Start moving a finished job's output to the VO archive (zero-byte
+    /// or local outputs skip the wire).
+    fn begin_stage_out(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+        now: SimTime,
+        job: JobId,
+    ) {
+        let Some(j) = fabric.jobs.get_mut(&job) else {
+            return;
+        };
+        j.phase = Phase::StagingOut;
+        let site = j.site;
+        let vo = j.spec.class.vo();
+        let out = j.spec.output_bytes;
+        let dst = fabric.topo.archive_site(vo);
+        ctx.traces
+            .record(job, now, TraceEvent::StageOutStarted { bytes: out });
+        if out.is_zero() || dst == site {
+            ctx.queue.schedule_at(
+                now,
+                GridEvent::Staging(StagingEvent::StageOutDone(job, NO_TRANSFER)),
+            );
+        } else {
+            match fabric.gridftp.start(
+                grid3_middleware::gridftp::TransferRequest {
+                    src: site,
+                    dst,
+                    bytes: out,
+                    vo,
+                },
+                now,
+            ) {
+                Ok((xfer, finish)) => {
+                    fabric
+                        .transfer_purpose
+                        .insert(xfer, TransferPurpose::JobStageOut(job));
+                    fabric.open_transfer_span(ctx, now, xfer, "stage_out", Some(u64::from(job.0)));
+                    ctx.queue.schedule_at(
+                        finish,
+                        GridEvent::Staging(StagingEvent::StageOutDone(job, xfer)),
+                    );
+                }
+                Err(_) => fabric.fail_active_job(ctx, now, job, FailureCause::StageOutFailure),
+            }
+        }
+    }
+
+    fn on_entrada_round(&mut self, ctx: &mut EngineCtx, fabric: &mut GridFabric, now: SimTime) {
+        let Some(demo) = self.demo.clone() else {
+            return;
+        };
+        for req in demo.round() {
+            if !fabric.topo.is_online(req.src, now) || !fabric.topo.is_online(req.dst, now) {
+                continue;
+            }
+            if let Ok((xfer, finish)) = fabric.gridftp.start(req, now) {
+                fabric.transfer_purpose.insert(xfer, TransferPurpose::Demo);
+                fabric.open_transfer_span(ctx, now, xfer, "demo", None);
+                ctx.queue.schedule_at(
+                    finish,
+                    GridEvent::Staging(StagingEvent::DemoTransferDone(xfer)),
+                );
+            }
+        }
+        let next = now + demo.period;
+        if next < fabric.cfg.horizon() {
+            ctx.queue
+                .schedule_at(next, GridEvent::Staging(StagingEvent::EntradaRound));
+        }
+    }
+
+    fn on_demo_transfer_done(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+        now: SimTime,
+        xfer: TransferId,
+    ) {
+        if fabric.transfer_purpose.remove(&xfer).is_none() {
+            return; // stale
+        }
+        fabric.close_transfer_span(ctx, now, xfer, false);
+        if let Ok(outcome) = fabric.gridftp.complete(xfer, now) {
+            ctx.emit(GridEvent::Reporting(ReportingEvent::CreditTransfer(
+                outcome.request.vo,
+                outcome.delivered,
+            )));
+        }
+    }
+}
+
+impl Subsystem for Staging {
+    type Event = StagingEvent;
+
+    const NAME: &'static str = "staging";
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: StagingEvent,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+    ) {
+        match event {
+            StagingEvent::StageInDone(job, xfer) => {
+                self.on_stage_in_done(ctx, fabric, now, job, xfer)
+            }
+            StagingEvent::StageOutDone(job, xfer) => {
+                self.on_stage_out_done(ctx, fabric, now, job, xfer)
+            }
+            StagingEvent::BeginStageOut(job) => self.begin_stage_out(ctx, fabric, now, job),
+            StagingEvent::EntradaRound => self.on_entrada_round(ctx, fabric, now),
+            StagingEvent::DemoTransferDone(xfer) => {
+                self.on_demo_transfer_done(ctx, fabric, now, xfer)
+            }
+        }
+    }
+}

@@ -274,6 +274,16 @@ impl RetryPolicy {
         attempt < self.max_retries
     }
 
+    /// The retry decision for a failed GRAM interaction in one place:
+    /// `attempt` (0-based retries already spent) gets another try iff the
+    /// error is transient and the budget allows it. This is the hook the
+    /// brokering subsystem calls on every submission failure, so the
+    /// "which errors are worth a backoff" policy lives with GRAM rather
+    /// than being re-derived at each engine call site.
+    pub fn should_retry(&self, attempt: u32, err: &GramError) -> bool {
+        err.is_transient() && self.allows(attempt)
+    }
+
     /// The backoff delay before retry number `attempt` (0-based) of the
     /// entity identified by `key` (typically the job id).
     pub fn delay(&self, attempt: u32, key: u64) -> SimDuration {

@@ -312,8 +312,7 @@ impl TraceStore {
         let mut v: Vec<(UserId, UserAccount)> =
             self.accounts.iter().map(|(u, a)| (*u, *a)).collect();
         v.sort_by(|a, b| {
-            b.1.cpu_secs
-                .total_cmp(&a.1.cpu_secs)
+            grid3_simkit::stats::cmp_f64_desc(a.1.cpu_secs, b.1.cpu_secs)
                 .then_with(|| a.0.cmp(&b.0))
         });
         v.truncate(n);

@@ -109,6 +109,18 @@ impl<E> EventQueue<E> {
     }
 
     /// True if no events are waiting.
+    ///
+    /// ```
+    /// use grid3_simkit::engine::EventQueue;
+    /// use grid3_simkit::time::SimTime;
+    ///
+    /// let mut q = EventQueue::new();
+    /// assert!(q.is_empty());
+    /// q.schedule_at(SimTime::from_secs(1), "tick");
+    /// assert!(!q.is_empty());
+    /// q.pop();
+    /// assert!(q.is_empty());
+    /// ```
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }

@@ -112,6 +112,34 @@ impl Summary {
     }
 }
 
+/// NaN-safe descending order on `f64` keys, for ranking closures.
+///
+/// Every "largest first" sort in the workspace (broker bandwidth
+/// tie-breaks, demo site ranking, figure tables, per-user accounting)
+/// wants the same total order: descending by value, never panicking and
+/// never going unstable if a NaN sneaks in from an upstream division.
+/// [`f64::total_cmp`] provides the total order among numbers; this
+/// helper fixes the direction so call sites stop hand-rolling (and
+/// occasionally flipping) the `b.total_cmp(&a)` idiom. NaN — of either
+/// sign, unlike raw `total_cmp` — sorts *last* in descending order.
+///
+/// ```
+/// use grid3_simkit::stats::cmp_f64_desc;
+///
+/// let mut xs = vec![1.0, f64::NAN, 3.0, 2.0];
+/// xs.sort_by(|a, b| cmp_f64_desc(*a, *b));
+/// assert_eq!(&xs[..3], &[3.0, 2.0, 1.0]);
+/// assert!(xs[3].is_nan());
+/// ```
+pub fn cmp_f64_desc(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
 /// Percentile of a sample (nearest-rank on a sorted copy). `p` in `[0,100]`.
 ///
 /// NaN-safe: samples are ordered with [`f64::total_cmp`], so a NaN that
@@ -209,6 +237,21 @@ mod tests {
         assert_eq!(percentile(&xs, 50.0), 3.0);
         assert_eq!(percentile(&xs, 100.0), 5.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn cmp_f64_desc_is_a_descending_total_order() {
+        use std::cmp::Ordering;
+        assert_eq!(cmp_f64_desc(3.0, 1.0), Ordering::Less); // 3 ranks first
+        assert_eq!(cmp_f64_desc(1.0, 3.0), Ordering::Greater);
+        assert_eq!(cmp_f64_desc(2.0, 2.0), Ordering::Equal);
+        // NaN lands at the end of a descending sort, not mid-sequence.
+        let mut xs = [f64::NAN, 0.5, -1.0, f64::INFINITY];
+        xs.sort_by(|a, b| cmp_f64_desc(*a, *b));
+        assert_eq!(xs[0], f64::INFINITY);
+        assert_eq!(xs[1], 0.5);
+        assert_eq!(xs[2], -1.0);
+        assert!(xs[3].is_nan());
     }
 
     #[test]

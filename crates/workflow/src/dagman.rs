@@ -196,6 +196,13 @@ impl<T> DagManager<T> {
         }
     }
 
+    /// Whether the DAG is still running with at least one node ready to
+    /// release — the condition a submit loop checks before scheduling
+    /// another cycle.
+    pub fn has_ready_work(&self) -> bool {
+        self.dag_state() == DagState::Running && !self.ready_nodes().is_empty()
+    }
+
     /// Completed node count.
     pub fn done_count(&self) -> usize {
         self.done

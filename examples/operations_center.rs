@@ -29,22 +29,22 @@ fn main() {
 
     // --- The status board (Site Status Catalog) ---
     println!("Site status board:");
-    let failing = sim.center.status_catalog.failing_sites();
+    let failing = sim.center().status_catalog.failing_sites();
     if failing.is_empty() {
         println!("  all probed sites passing");
     }
     for id in &failing {
-        let e = sim.center.status_catalog.entry(*id).unwrap();
+        let e = sim.center().status_catalog.entry(*id).unwrap();
         println!(
             "  FAIL {:<22} {} consecutive failed probes (availability {:.1}%)",
             e.name,
             e.consecutive_failures,
-            sim.center.status_catalog.availability(*id) * 100.0
+            sim.center().status_catalog.availability(*id) * 100.0
         );
     }
 
     // --- Trouble tickets and the §7 support-load metric ---
-    let tickets = sim.center.tickets.tickets();
+    let tickets = sim.center().tickets.tickets();
     let open = tickets
         .iter()
         .filter(|t| matches!(t.status, TicketStatus::Open))
@@ -53,16 +53,16 @@ fn main() {
         "\nTickets: {} total, {} open; support load {:.2} FTE (target <2, §7)",
         tickets.len(),
         open,
-        sim.center
+        sim.center()
             .tickets
             .fte_in_window(grid3_sim::simkit::time::SimTime::EPOCH, now)
     );
-    if let Some(mttr) = sim.center.tickets.mean_resolution_time() {
+    if let Some(mttr) = sim.center().tickets.mean_resolution_time() {
         println!("Mean time to resolve: {mttr}");
     }
 
     // --- §8 troubleshooting: stuck jobs, with full traces, no log grep ---
-    let stuck = sim.traces.stuck_jobs(now, SimDuration::from_hours(24));
+    let stuck = sim.traces().stuck_jobs(now, SimDuration::from_hours(24));
     println!("\nStuck jobs (>24 h without an event): {}", stuck.len());
     for t in stuck.iter().take(3) {
         println!("{}", t.render());
@@ -70,7 +70,7 @@ fn main() {
 
     // --- §8 id linkage: pick a job and show both identifiers ---
     if let Some(t) = sim
-        .traces
+        .traces()
         .find_by_execution_id(grid3_sim::simkit::ids::JobId(0))
     {
         println!(
@@ -83,7 +83,7 @@ fn main() {
 
     // --- Accounting: the heavy hitters (§5.2 auditing) ---
     println!("\nTop users by CPU consumption:");
-    for (user, acct) in sim.traces.top_users(5) {
+    for (user, acct) in sim.traces().top_users(5) {
         println!(
             "  {user:<9} {:>9.1} CPU-days  {:>6} completed  {:>5} failed  {:>8.1} GB moved",
             acct.cpu_days(),
@@ -92,12 +92,12 @@ fn main() {
             acct.bytes_moved as f64 / 1e9
         );
     }
-    if let Some(wait) = sim.traces.mean_queue_wait() {
+    if let Some(wait) = sim.traces().mean_queue_wait() {
         println!("\nMean batch-queue wait across the grid: {wait}");
     }
     println!(
         "Grid efficiency so far: {:.1}% over {} records",
-        sim.acdc.overall_efficiency() * 100.0,
-        sim.acdc.total_records()
+        sim.acdc().overall_efficiency() * 100.0,
+        sim.acdc().total_records()
     );
 }

@@ -1,0 +1,62 @@
+//! The parallel campaign runner must be a pure reordering of the serial
+//! loop: same reports, same merged summary, for any thread count.
+
+use grid3_sim::core::campaign::{
+    run_campaign, run_campaign_serial, run_with_threads, CampaignPlan,
+};
+use grid3_sim::core::scenario::ScenarioConfig;
+
+fn plan() -> CampaignPlan {
+    // 8 seeds at a tiny scale: big enough to exercise the merge, small
+    // enough for a debug-profile test run.
+    let cfg = ScenarioConfig::sc2003()
+        .with_scale(0.004)
+        .with_days(6)
+        .with_demo(false);
+    CampaignPlan::single("sc2003-tiny", cfg, vec![1, 2, 3, 5, 8, 13, 21, 34])
+}
+
+#[test]
+fn parallel_campaign_matches_serial_loop() {
+    let plan = plan();
+    let serial = run_campaign_serial(&plan);
+    let parallel = run_campaign(&plan);
+
+    // Every per-run report identical and in plan order.
+    assert_eq!(serial.reports.len(), 1);
+    assert_eq!(parallel.reports[0].len(), 8);
+    for (s, p) in serial.reports[0].iter().zip(&parallel.reports[0]) {
+        assert_eq!(s.to_json(), p.to_json());
+    }
+    // And therefore an identical merged summary.
+    assert_eq!(
+        serde_json::to_string(&serial.summary).unwrap(),
+        serde_json::to_string(&parallel.summary).unwrap()
+    );
+}
+
+#[test]
+fn campaign_summary_is_independent_of_thread_count() {
+    let plan = plan();
+    let reference = serde_json::to_string(&run_campaign_serial(&plan).summary).unwrap();
+    for threads in [1, 2, 4] {
+        let got = serde_json::to_string(&run_with_threads(&plan, threads).summary).unwrap();
+        assert_eq!(got, reference, "summary diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn campaign_bands_cover_the_seed_spread() {
+    let plan = plan();
+    let outcome = run_campaign(&plan);
+    let v = &outcome.summary.variants[0];
+    assert_eq!(v.seeds.len(), 8);
+    assert_eq!(outcome.summary.runs, 8);
+    // The band brackets every per-run efficiency.
+    for r in &outcome.reports[0] {
+        let e = r.metrics.overall_efficiency;
+        assert!(v.efficiency.min <= e && e <= v.efficiency.max);
+    }
+    assert!(v.efficiency.p5 <= v.efficiency.p50 && v.efficiency.p50 <= v.efficiency.p95);
+    assert!(v.total_jobs.min > 0.0);
+}

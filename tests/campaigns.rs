@@ -65,9 +65,11 @@ fn campaign_absorbs_failures_with_retries() {
     // The campaign's jobs flowed through the normal accounting: USCMS
     // records grew beyond the (tiny) flat workload.
     let cms_records = sim
-        .acdc
+        .acdc()
         .completed_count(grid3_sim::site::vo::UserClass::Uscms)
-        + sim.acdc.failed_count(grid3_sim::site::vo::UserClass::Uscms);
+        + sim
+            .acdc()
+            .failed_count(grid3_sim::site::vo::UserClass::Uscms);
     assert!(cms_records as usize >= *done);
 }
 
@@ -94,9 +96,9 @@ fn chain_steps_execute_in_dependency_order() {
     use grid3_sim::monitoring::trace::TraceEvent;
     let mut gen_first_completion: Option<grid3_sim::simkit::time::SimTime> = None;
     let mut digi_first_submission: Option<grid3_sim::simkit::time::SimTime> = None;
-    for jid in 0..(sim.traces.len() as u32) {
+    for jid in 0..(sim.traces().len() as u32) {
         let Some(t) = sim
-            .traces
+            .traces()
             .find_by_execution_id(grid3_sim::simkit::ids::JobId(jid))
         else {
             continue;

@@ -17,7 +17,7 @@ fn base() -> ScenarioConfig {
 }
 
 fn failures_of(sim: &Simulation, cause: FailureCause) -> u64 {
-    sim.acdc
+    sim.acdc()
         .failure_breakdown()
         .get(&cause)
         .copied()
@@ -44,7 +44,7 @@ fn srm_reservations_prevent_mid_flight_storage_deaths() {
         "SRM {deaths_srm} vs Grid3 {deaths_grid3} mid-flight storage deaths"
     );
     // And overall efficiency does not get worse.
-    assert!(srm.acdc.overall_efficiency() >= grid3.acdc.overall_efficiency() - 0.02);
+    assert!(srm.acdc().overall_efficiency() >= grid3.acdc().overall_efficiency() - 0.02);
 }
 
 #[test]
@@ -58,8 +58,8 @@ fn automated_install_pipeline_raises_efficiency() {
             .with_pipeline(InstallPipeline::automated()),
     );
     automated.run();
-    let e_manual = manual.acdc.overall_efficiency();
-    let e_auto = automated.acdc.overall_efficiency();
+    let e_manual = manual.acdc().overall_efficiency();
+    let e_auto = automated.acdc().overall_efficiency();
     assert!(
         e_auto > e_manual,
         "automated {e_auto:.3} should beat manual {e_manual:.3}"
@@ -90,14 +90,14 @@ fn acdc_rollover_kills_jobs_nightly() {
 fn failure_mix_matches_section_6_structure() {
     let mut sim = Simulation::new(base().with_seed(94));
     sim.run();
-    let frac = sim.acdc.site_problem_fraction();
+    let frac = sim.acdc().site_problem_fraction();
     assert!(
         (0.75..=1.0).contains(&frac),
         "site-problem fraction {frac:.2} out of the §6.1 band"
     );
     // Random losses are present but "few" (§6.2).
     let random = failures_of(&sim, FailureCause::RandomLoss);
-    let total: u64 = sim.acdc.failure_breakdown().values().sum();
+    let total: u64 = sim.acdc().failure_breakdown().values().sum();
     assert!(random > 0);
     assert!((random as f64) < 0.25 * total as f64);
 }
@@ -154,7 +154,7 @@ fn failure_schedules_are_half_open_at_the_horizon() {
 fn tickets_track_incidents_and_resolve() {
     let mut sim = Simulation::new(base().with_seed(95));
     sim.run();
-    let tickets = sim.center.tickets.tickets();
+    let tickets = sim.center().tickets.tickets();
     assert!(!tickets.is_empty(), "incidents must raise tickets");
     let resolved = tickets
         .iter()
@@ -171,7 +171,7 @@ fn tickets_track_incidents_and_resolve() {
         tickets.len()
     );
     // Support load stays near the §7 target even in a failure-rich month.
-    let fte = sim.center.tickets.fte_in_window(
+    let fte = sim.center().tickets.fte_in_window(
         grid3_sim::simkit::time::SimTime::EPOCH,
         sim.config().horizon(),
     );

@@ -15,7 +15,7 @@ fn small() -> ScenarioConfig {
 fn every_submission_reaches_a_terminal_or_in_flight_state() {
     let mut sim = Simulation::new(small());
     sim.run();
-    let terminal = sim.acdc.total_records();
+    let terminal = sim.acdc().total_records();
     let in_flight = sim.active_jobs() as u64;
     assert!(terminal > 500, "substantial work processed: {terminal}");
     // Nothing vanished: records + active == all submissions inside the
@@ -104,8 +104,8 @@ fn rls_holds_registered_outputs() {
     let mut sim = Simulation::new(small());
     sim.run();
     // Registering classes completed jobs, so the catalog is non-trivial.
-    assert!(sim.rls.lfn_count() > 0);
-    assert_eq!(sim.rls.replica_count(), sim.rls.lfn_count());
+    assert!(sim.rls().lfn_count() > 0);
+    assert_eq!(sim.rls().replica_count(), sim.rls().lfn_count());
 }
 
 #[test]
@@ -113,12 +113,12 @@ fn gatekeepers_tracked_all_accepted_jobs() {
     use grid3_sim::site::job::FailureCause;
     let mut sim = Simulation::new(small());
     sim.run();
-    let accepted: u64 = sim.gatekeepers.iter().map(|g| g.accepted_count()).sum();
+    let accepted: u64 = sim.gatekeepers().iter().map(|g| g.accepted_count()).sum();
     // Every job record except broker rejections and submit-time refusals
     // passed through an accepted gatekeeper submission; jobs still in
     // flight at the horizon are accepted too.
     let submit_refusals: u64 = sim
-        .acdc
+        .acdc()
         .failure_breakdown()
         .iter()
         .filter(|(c, _)| {
@@ -131,7 +131,7 @@ fn gatekeepers_tracked_all_accepted_jobs() {
         })
         .map(|(_, n)| *n)
         .sum();
-    let total = sim.acdc.total_records() + sim.active_jobs() as u64;
+    let total = sim.acdc().total_records() + sim.active_jobs() as u64;
     assert!(accepted >= total - submit_refusals);
     assert!(accepted <= total);
 }

@@ -38,11 +38,11 @@ fn scenario_populates_the_full_identity_stack() {
             .with_demo(false),
     );
     // 102 users hold certificates, VOMS memberships and AUP acceptance.
-    assert_eq!(total_distinct_users(&sim.voms), 102);
-    assert_eq!(sim.ca.issued_count(), 102);
-    assert_eq!(sim.center.aup.permitted_count(), 102);
+    assert_eq!(total_distinct_users(sim.voms()), 102);
+    assert_eq!(sim.ca().issued_count(), 102);
+    assert_eq!(sim.center().aup.permitted_count(), 102);
     // Every VO has a server; HEP VOs have the big populations.
-    let atlas = sim.voms.iter().find(|s| s.vo == Vo::Usatlas).unwrap();
+    let atlas = sim.voms().iter().find(|s| s.vo == Vo::Usatlas).unwrap();
     assert_eq!(atlas.member_count(), 25);
 }
 
@@ -55,8 +55,8 @@ fn onboarding_publishes_glue_records_with_grid3_extensions() {
             .with_demo(false),
     );
     // Every site (30 incl. surge entries) published at onboarding.
-    assert_eq!(sim.center.mds.len(), 30);
-    let rec = sim.center.mds.lookup(SiteId(0)).expect("BNL published");
+    assert_eq!(sim.center().mds.len(), 30);
+    let rec = sim.center().mds.lookup(SiteId(0)).expect("BNL published");
     assert!(rec.app_install_area.contains("BNL"));
     assert_eq!(rec.vdt_version, "VDT-1.1.8");
     assert!(rec.max_walltime >= SimDuration::from_hours(96));
@@ -98,11 +98,11 @@ fn gridftp_and_rls_carry_scenario_data() {
     );
     sim.run();
     // Staging moved real bytes and registrations landed in RLS.
-    assert!(sim.bytes_delivered.as_gb_f64() > 100.0);
-    assert!(sim.rls.lfn_count() > 50);
+    assert!(sim.bytes_delivered().as_gb_f64() > 100.0);
+    assert!(sim.rls().lfn_count() > 50);
     // Archive sites hold the registered replicas.
     let bnl_replicas = sim
-        .rls
+        .rls()
         .replicas_at(sim.topology().archive_site(Vo::Usatlas));
     assert!(bnl_replicas > 0, "BNL archives ATLAS outputs");
 }

@@ -84,7 +84,7 @@ fn crosscheck_acdc_vs_mdviewer_job_counts() {
     // The same job records flow to ACDC and MDViewer by separate paths;
     // the §5.2 crosscheck must agree.
     let sim = run_small();
-    assert_eq!(sim.acdc.total_records(), sim.viewer.jobs_seen());
+    assert_eq!(sim.acdc().total_records(), sim.viewer().jobs_seen());
 }
 
 #[test]
@@ -94,11 +94,11 @@ fn crosscheck_acdc_cpu_days_vs_mdviewer_integration() {
     // counts failed jobs' burn, so it must be ≥ the ACDC figure).
     let sim = run_small();
     let acdc_cms: f64 = sim
-        .acdc
+        .acdc()
         .cpu_days_by_site(grid3_sim::site::vo::UserClass::Uscms)
         .values()
         .sum();
-    let viewer_cms = sim.viewer.total_cpu_days(Vo::Uscms);
+    let viewer_cms = sim.viewer().total_cpu_days(Vo::Uscms);
     assert!(
         viewer_cms >= acdc_cms - 1e-6,
         "viewer {viewer_cms:.2} < acdc {acdc_cms:.2}"
@@ -115,10 +115,10 @@ fn crosscheck_gram_counter_vs_acdc_records() {
     // unplaced, refused or terminal accepted job; accepted jobs still in
     // flight at the horizon have a counter increment but no record yet.
     let sim = run_small_instrumented();
-    let accepted = sim.telemetry.counter_total("gram", "accepted");
-    let refused = sim.telemetry.counter_total("gram", "refused");
+    let accepted = sim.telemetry().counter_total("gram", "accepted");
+    let refused = sim.telemetry().counter_total("gram", "refused");
     assert!(accepted > 0, "no accepted jobs counted");
-    let terminal_accepted = sim.acdc.total_records() - refused - sim.unplaced_jobs;
+    let terminal_accepted = sim.acdc().total_records() - refused - sim.unplaced_jobs();
     assert_eq!(accepted, terminal_accepted + sim.active_jobs() as u64);
 }
 
@@ -128,12 +128,12 @@ fn crosscheck_gridftp_bytes_vs_netlogger() {
     // `complete`) against the NetLogger archive's correlated Start/End
     // totals, collected via the §4.7 event stream.
     let sim = run_small_instrumented();
-    let counted = sim.telemetry.counter_total("gridftp", "bytes_completed");
+    let counted = sim.telemetry().counter_total("gridftp", "bytes_completed");
     assert!(counted > 0, "no transfer bytes counted");
-    let stats = sim.center.netlogger.stats();
+    let stats = sim.center().netlogger.stats();
     assert_eq!(counted, stats.bytes_completed.as_u64());
     assert_eq!(
-        sim.telemetry.counter_total("gridftp", "completed"),
+        sim.telemetry().counter_total("gridftp", "completed"),
         stats.completed
     );
 }
@@ -144,8 +144,8 @@ fn ganglia_web_sees_every_online_site() {
     // 27 production sites reported by the end (surge sites may be offline
     // at the horizon but reported earlier).
     // SMU joins after the 30-day window, so 29 of 30 entries report.
-    assert!(sim.center.ganglia_web.summaries().len() >= 27);
-    let reported = sim.center.ganglia_web.total_cpus();
+    assert!(sim.center().ganglia_web.summaries().len() >= 27);
+    let reported = sim.center().ganglia_web.total_cpus();
     assert!(reported >= sim.topology().steady_cpus());
     assert!(reported <= sim.topology().peak_cpus());
 }
@@ -153,11 +153,11 @@ fn ganglia_web_sees_every_online_site() {
 #[test]
 fn monalisa_repository_holds_per_site_series() {
     let sim = run_small();
-    assert!(sim.center.monalisa.series_count() > 100);
+    assert!(sim.center().monalisa.series_count() > 100);
     // Gatekeeper-load series exist for the Tier-1s.
     for site in [0u32, 1] {
         assert!(
-            sim.center
+            sim.center()
                 .monalisa
                 .series(&SeriesKey::GkLoad(grid3_sim::simkit::ids::SiteId(site)))
                 .is_some(),
@@ -169,7 +169,7 @@ fn monalisa_repository_holds_per_site_series() {
 #[test]
 fn status_catalog_probed_everyone() {
     let sim = run_small();
-    let entries = sim.center.status_catalog.entries();
+    let entries = sim.center().status_catalog.entries();
     assert!(entries.len() >= 27);
     for (id, e) in entries {
         // Sites that never came online inside the window (SMU joins in

@@ -24,17 +24,17 @@ proptest! {
                              scale in 2u64..8, srm in any::<bool>()) {
         let mut sim = Simulation::new(tiny(seed, days, scale, srm));
         sim.run();
-        let running: usize = sim.sites.iter().map(|s| s.running_count()).sum();
-        prop_assert_eq!(sim.job_gauge.level(), running as f64);
+        let running: usize = sim.sites().iter().map(|s| s.running_count()).sum();
+        prop_assert_eq!(sim.job_gauge().level(), running as f64);
         // Efficiency is a probability.
-        let eff = sim.acdc.overall_efficiency();
+        let eff = sim.acdc().overall_efficiency();
         prop_assert!((0.0..=1.0).contains(&eff));
         // Storage accounting holds at every site.
-        for site in &sim.sites {
+        for site in sim.sites() {
             prop_assert!(site.storage.used() + site.storage.free() <= site.storage.capacity());
         }
         // Monotone ids: total records bounded by issued job ids.
-        prop_assert!(sim.acdc.total_records() + sim.active_jobs() as u64 >= sim.acdc.total_records());
+        prop_assert!(sim.acdc().total_records() + sim.active_jobs() as u64 >= sim.acdc().total_records());
     }
 
     /// Determinism: identical configs give identical reports.

@@ -28,18 +28,18 @@ fn operated(seed: u64) -> Simulation {
 fn validated_sites_clear_ninety_percent_overall_stays_in_band() {
     for seed in [2003u64, 7, 42] {
         let sim = operated(seed);
-        let validated = sim.site_ledger.efficiency(SiteState::Validated);
+        let validated = sim.site_ledger().efficiency(SiteState::Validated);
         assert!(
             validated >= 0.90,
             "seed {seed}: validated-site efficiency {validated:.3} < 0.90"
         );
-        let overall = sim.acdc.overall_efficiency();
+        let overall = sim.acdc().overall_efficiency();
         assert!(
             (0.70..=0.90).contains(&overall),
             "seed {seed}: overall efficiency {overall:.3} out of band"
         );
         for class in [UserClass::Usatlas, UserClass::Uscms] {
-            let eff = sim.acdc.efficiency(class);
+            let eff = sim.acdc().efficiency(class);
             assert!(
                 (0.55..=0.85).contains(&eff),
                 "seed {seed}: {class} efficiency {eff:.3} left the ≈70 % band"
@@ -47,7 +47,7 @@ fn validated_sites_clear_ninety_percent_overall_stays_in_band() {
         }
         // The ledger splits cleanly: unvalidated sites do much worse, so
         // the overall number sits between the two regimes.
-        let unvalidated = sim.site_ledger.efficiency(SiteState::Unvalidated);
+        let unvalidated = sim.site_ledger().efficiency(SiteState::Unvalidated);
         assert!(
             unvalidated < validated - 0.2,
             "seed {seed}: unvalidated {unvalidated:.3} too close to validated {validated:.3}"
@@ -58,7 +58,7 @@ fn validated_sites_clear_ninety_percent_overall_stays_in_band() {
 #[test]
 fn failure_storms_open_tickets_and_repairs_revalidate_sites() {
     let sim = operated(2003);
-    let r = sim.resilience.as_ref().expect("operated scenario");
+    let r = sim.resilience().expect("operated scenario");
     assert!(r.storms_opened > 0, "churn must trip the storm detector");
     assert!(r.retries_scheduled > 0, "transient failures must retry");
     // Repairs lag storms by the revalidation turnaround; by month's end
@@ -71,7 +71,7 @@ fn failure_storms_open_tickets_and_repairs_revalidate_sites() {
     );
     // Every completed repair resolved its FailureStorm ticket.
     let storm_tickets: Vec<_> = sim
-        .center
+        .center()
         .tickets
         .tickets()
         .iter()
@@ -122,9 +122,9 @@ fn baseline_scenario_keeps_resilience_off() {
             .with_demo(false),
     );
     sim.run();
-    assert!(sim.resilience.is_none());
+    assert!(sim.resilience().is_none());
     // The ledger still buckets (everything lands by validation state),
     // but no storms, repairs, or retries can have happened.
-    let (c, f) = sim.site_ledger.counts(SiteState::Degraded);
+    let (c, f) = sim.site_ledger().counts(SiteState::Degraded);
     assert_eq!(c + f, 0, "no bans without the resilience layer");
 }

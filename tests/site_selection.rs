@@ -40,7 +40,7 @@ fn outbound_jobs_only_land_on_outbound_sites() {
         .collect();
     assert!(!no_outbound.is_empty());
     for class in [UserClass::Ivdgl, UserClass::Sdss] {
-        for site in sim.acdc.jobs_by_site(class).keys() {
+        for site in sim.acdc().jobs_by_site(class).keys() {
             assert!(
                 !no_outbound.contains(&site.index()),
                 "{class} ran at non-outbound site {}",
@@ -55,7 +55,7 @@ fn long_jobs_only_land_on_long_walltime_sites() {
     // §6.4 criterion 3 + §6.2: OSCAR-length jobs only fit sites granting
     // the walltime. Check that CMS CPU-days concentrate on such sites.
     let sim = run_small(52);
-    let by_site = sim.acdc.cpu_days_by_site(UserClass::Uscms);
+    let by_site = sim.acdc().cpu_days_by_site(UserClass::Uscms);
     for (site, days) in &by_site {
         let spec = &sim.topology().specs[site.index()];
         // Sites granting under 60 h can only have run short CMS jobs;
@@ -84,7 +84,7 @@ fn vo_affinity_concentrates_work_on_owned_sites() {
     // their VO". ATLAS CPU-days at ATLAS-owned sites should beat the
     // uniform share.
     let sim = run_small(53);
-    let by_site = sim.acdc.cpu_days_by_site(UserClass::Usatlas);
+    let by_site = sim.acdc().cpu_days_by_site(UserClass::Usatlas);
     let total: f64 = by_site.values().sum();
     let owned: f64 = by_site
         .iter()
@@ -109,7 +109,7 @@ fn ligo_stays_home() {
     // LIGO's tiny S2 shakedown ran at a single site (Table 1), its home
     // facility — full affinity plus a single-VO site.
     let sim = run_small(54);
-    let sites = sim.acdc.jobs_by_site(UserClass::Ligo);
+    let sites = sim.acdc().jobs_by_site(UserClass::Ligo);
     assert!(sites.len() <= 1, "LIGO spread to {} sites", sites.len());
 }
 
@@ -258,7 +258,7 @@ fn blacklist_expiry_restores_site_spread() {
 fn surge_sites_take_no_work_outside_their_window() {
     let sim = run_small(55);
     for class in UserClass::ALL {
-        for site in sim.acdc.jobs_by_site(class).keys() {
+        for site in sim.acdc().jobs_by_site(class).keys() {
             let spec = &sim.topology().specs[site.index()];
             if let Some(off) = spec.offline_after_day {
                 // Surge sites only exist days 16–37; any completed work

@@ -37,7 +37,7 @@ fn run_one_day() -> Simulation {
 #[test]
 fn chrome_trace_is_valid_json_with_four_subsystems() {
     let sim = run_one_day();
-    let trace = sim.telemetry.chrome_trace();
+    let trace = sim.telemetry().chrome_trace();
     let parsed: Value = serde_json::from_str(&trace).expect("chrome trace must be valid JSON");
     let events = parsed
         .get("traceEvents")
@@ -70,7 +70,7 @@ fn chrome_trace_is_valid_json_with_four_subsystems() {
 #[test]
 fn span_exports_are_wellformed_and_job_linked() {
     let sim = run_one_day();
-    let jsonl = sim.telemetry.spans_jsonl();
+    let jsonl = sim.telemetry().spans_jsonl();
     let mut engine_spans = 0usize;
     for line in jsonl.lines() {
         let v: Value = serde_json::from_str(line).expect("each span line is JSON");
@@ -83,7 +83,7 @@ fn span_exports_are_wellformed_and_job_linked() {
                 .expect("engine span carries a job id");
             let id = grid3_sim::simkit::ids::JobId(job as u32);
             assert!(
-                sim.traces.trace(id).is_some(),
+                sim.traces().trace(id).is_some(),
                 "span job {job} missing from the trace store"
             );
         }
@@ -94,7 +94,7 @@ fn span_exports_are_wellformed_and_job_linked() {
     assert!(engine_spans > 0, "no engine job spans exported");
     // The registry snapshot parses too.
     let registry: Value =
-        serde_json::from_str(&sim.telemetry.registry_json()).expect("registry JSON");
+        serde_json::from_str(&sim.telemetry().registry_json()).expect("registry JSON");
     let counters = registry
         .get("counters")
         .and_then(Value::as_array)
@@ -106,15 +106,15 @@ fn span_exports_are_wellformed_and_job_linked() {
 fn event_loop_profile_covers_the_run() {
     let sim = run_one_day();
     // Every processed event was dispatched through the profiling hook.
-    assert_eq!(sim.telemetry.dispatch_total(), sim.events_processed());
-    let hottest = sim.telemetry.hottest_events(5);
+    assert_eq!(sim.telemetry().dispatch_total(), sim.events_processed());
+    let hottest = sim.telemetry().hottest_events(5);
     assert!(!hottest.is_empty());
     // Counts are sorted descending.
     for pair in hottest.windows(2) {
         assert!(pair[0].1 >= pair[1].1);
     }
     // The queue-depth profile is binned over the one-day window.
-    let profile = sim.telemetry.depth_profile();
+    let profile = sim.telemetry().depth_profile();
     assert!(!profile.is_empty());
     for (bin_start, _) in &profile {
         assert!(*bin_start < SimTime::from_days(1));
@@ -125,7 +125,7 @@ fn event_loop_profile_covers_the_run() {
 fn telemetry_feeds_the_monitoring_bus() {
     let sim = run_one_day();
     let mut bus = MonitoringBus::new();
-    let producer = TelemetryProducer::new(sim.telemetry.clone());
+    let producer = TelemetryProducer::new(sim.telemetry().clone());
     let published = producer.publish_to(&mut bus, SimTime::from_days(1));
     assert!(published > 0, "producer published nothing");
     assert_eq!(bus.published_count(), published as u64);

@@ -23,23 +23,23 @@ fn every_job_record_has_a_linked_trace() {
     let sim = run_small(301);
     // Every submission opened a trace.
     assert_eq!(
-        sim.traces.len() as u64,
-        sim.acdc.total_records() + sim.active_jobs() as u64
+        sim.traces().len() as u64,
+        sim.acdc().total_records() + sim.active_jobs() as u64
     );
     // Bidirectional id linkage for a sample of jobs.
     for jid in [0u32, 10, 100] {
         let trace = sim
-            .traces
+            .traces()
             .find_by_execution_id(JobId(jid))
             .expect("job 0/10/100 traced");
         let back = sim
-            .traces
+            .traces()
             .find_by_submit_id(trace.submit_id)
             .expect("submit id resolves");
         assert_eq!(back.execution_id, JobId(jid));
     }
     assert!(sim
-        .traces
+        .traces()
         .find_by_submit_id(SubmitSideId(u64::MAX))
         .is_none());
 }
@@ -50,8 +50,8 @@ fn completed_traces_show_the_full_section_6_1_lifecycle() {
     // Find a completed ATLAS-like job (registers output) and check its
     // trace covers every lifecycle step of §6.1.
     let mut checked = 0;
-    for jid in 0..sim.traces.len() as u32 {
-        let Some(t) = sim.traces.find_by_execution_id(JobId(jid)) else {
+    for jid in 0..sim.traces().len() as u32 {
+        let Some(t) = sim.traces().find_by_execution_id(JobId(jid)) else {
             continue;
         };
         let has = |f: &dyn Fn(&TraceEvent) -> bool| t.events.iter().any(|(_, e)| f(e));
@@ -85,7 +85,10 @@ fn completed_traces_show_the_full_section_6_1_lifecycle() {
 #[test]
 fn queue_wait_statistics_are_available() {
     let sim = run_small(303);
-    let wait = sim.traces.mean_queue_wait().expect("jobs were dispatched");
+    let wait = sim
+        .traces()
+        .mean_queue_wait()
+        .expect("jobs were dispatched");
     // Queue waits are non-negative and bounded by the window.
     assert!(wait.as_secs_f64() >= 0.0);
     assert!(wait.as_days_f64() < 30.0);
@@ -100,28 +103,28 @@ fn accounting_cross_checks_against_acdc() {
     let mut trace_completed = 0u64;
     let mut trace_failed = 0u64;
     for user in 0..102u32 {
-        let acct = sim.traces.accounting_by_user(UserId(user));
+        let acct = sim.traces().accounting_by_user(UserId(user));
         trace_completed += acct.completed;
         trace_failed += acct.failed;
     }
     let acdc_completed: u64 = grid3_sim::site::vo::UserClass::ALL
         .iter()
-        .map(|c| sim.acdc.completed_count(*c))
+        .map(|c| sim.acdc().completed_count(*c))
         .sum();
-    let acdc_failed: u64 = sim.acdc.failure_breakdown().values().sum();
+    let acdc_failed: u64 = sim.acdc().failure_breakdown().values().sum();
     assert_eq!(trace_completed, acdc_completed);
     assert_eq!(trace_failed, acdc_failed);
     // CPU accounting roughly matches the viewer's integration (trace
     // counts dispatch→end; viewer integrates the same intervals).
     let trace_cpu: f64 = sim
-        .traces
+        .traces()
         .top_users(200)
         .iter()
         .map(|(_, a)| a.cpu_days())
         .sum();
     let viewer_cpu: f64 = grid3_sim::site::vo::Vo::ALL
         .iter()
-        .map(|vo| sim.viewer.total_cpu_days(*vo))
+        .map(|vo| sim.viewer().total_cpu_days(*vo))
         .sum();
     assert!(
         (trace_cpu - viewer_cpu).abs() < viewer_cpu * 0.05 + 1.0,
@@ -135,8 +138,8 @@ fn terminal_traces_match_record_outcomes() {
     // Sample: every record's outcome agrees with its trace's terminal
     // event.
     let mut seen = 0;
-    for jid in (0..sim.traces.len() as u32).step_by(37) {
-        let Some(t) = sim.traces.find_by_execution_id(JobId(jid)) else {
+    for jid in (0..sim.traces().len() as u32).step_by(37) {
+        let Some(t) = sim.traces().find_by_execution_id(JobId(jid)) else {
             continue;
         };
         let Some((_, last)) = t.last_event() else {
@@ -255,7 +258,7 @@ fn no_stuck_jobs_slip_through_unnoticed() {
     // At the horizon, "stuck" jobs (no event for 3 days) are exactly a
     // subset of the still-active population — the query gives operators a
     // finite list, not a log-grepping session.
-    let stuck = sim.traces.stuck_jobs(
+    let stuck = sim.traces().stuck_jobs(
         sim.config().horizon(),
         grid3_sim::simkit::time::SimDuration::from_days(3),
     );
