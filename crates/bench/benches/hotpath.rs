@@ -1,0 +1,233 @@
+//! Hot-path event-engine measurements (custom harness).
+//!
+//! Two instruments, both differential heap-vs-ladder:
+//!
+//! * **Queue replay** — a synthetic steady-state churn at a pinned
+//!   pending depth: pop one event, schedule one follow-up, repeat. This
+//!   isolates the queue data structure itself (the O(log n) heap
+//!   sift-down against the ladder's amortized O(1) bucket hops) at the
+//!   depths the two scenarios actually reach.
+//! * **Engine runs** — whole simulations of the sc2003 month and the
+//!   [`ScenarioConfig::scale_out`] stress grid (10× sites, 10× job
+//!   arrivals) under each backend, reporting end-to-end events/sec.
+//!
+//! Writes `BENCH_hotpath.json` at the repo root. `--smoke` runs a
+//! seconds-long version that asserts the ladder keeps parity with the
+//! heap (ratio ≥ 1.0 on queue replay) and leaves the recorded JSON
+//! untouched — that is the CI guard; full runs refresh the numbers.
+
+use grid3_core::engine::Grid3Engine;
+use grid3_core::scenario::{QueueKind, ScenarioConfig};
+use grid3_simkit::engine::EventQueue;
+use grid3_simkit::time::SimTime;
+use std::time::Instant;
+
+/// SplitMix64: a deterministic stream of schedule offsets, identical
+/// for both backends.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Steady-state churn: seed `depth` pending events, then pop-one /
+/// push-one for `ops` rounds. Returns operations (pop+push pairs) per
+/// second. The offset mix mirrors the simulation's: mostly near-future
+/// follow-ups, a tail of far-future timers.
+fn queue_replay(kind: QueueKind, depth: usize, ops: usize) -> f64 {
+    let mut q: EventQueue<usize> = match kind {
+        QueueKind::Ladder => EventQueue::new(),
+        QueueKind::Heap => EventQueue::with_heap(),
+    };
+    let mut rng = 0x2436_1A58_21FE_D731u64;
+    for i in 0..depth {
+        q.schedule_at(SimTime::from_micros(splitmix(&mut rng) % 3_600_000_000), i);
+    }
+    let t0 = Instant::now();
+    for i in 0..ops {
+        let (now, _) = q.pop().expect("queue stays populated");
+        let draw = splitmix(&mut rng);
+        // 7/8 near follow-ups (≤ 1 h), 1/8 far timers (≤ 48 h).
+        let offset = if draw.is_multiple_of(8) {
+            draw % 172_800_000_000
+        } else {
+            draw % 3_600_000_000
+        };
+        q.schedule_at(SimTime::from_micros(now.as_micros() + offset), depth + i);
+    }
+    ops as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Run one whole simulation; returns `(events processed, seconds)`.
+fn engine_run(cfg: ScenarioConfig) -> (u64, f64) {
+    let mut sim = Grid3Engine::new(cfg);
+    let t0 = Instant::now();
+    sim.run();
+    (sim.events_processed(), t0.elapsed().as_secs_f64())
+}
+
+/// Best-of-`reps` events/sec for a scenario under one backend.
+fn engine_events_per_sec(cfg: &ScenarioConfig, kind: QueueKind, reps: usize) -> (u64, f64) {
+    let mut best = 0.0f64;
+    let mut events = 0;
+    for _ in 0..reps {
+        let (ev, secs) = engine_run(cfg.clone().with_queue(kind));
+        events = ev;
+        best = best.max(ev as f64 / secs);
+    }
+    (events, best)
+}
+
+struct EngineRow {
+    scenario: &'static str,
+    events: u64,
+    heap_eps: f64,
+    ladder_eps: f64,
+}
+
+struct ReplayRow {
+    scenario: &'static str,
+    depth: usize,
+    heap_ops: f64,
+    ladder_ops: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let named = args.iter().any(|a| "hotpath".contains(a.as_str()));
+    if !args.is_empty() && !args.iter().all(|a| a.starts_with("--")) && !named {
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    // Queue replay at the steady pending depths the scenarios reach
+    // (sc2003 holds a few thousand pending events; the scale-out grid
+    // an order of magnitude more).
+    let (replay_ops, depths): (usize, [(&'static str, usize); 2]) = if smoke {
+        (200_000, [("sc2003", 4_000), ("scale_out", 40_000)])
+    } else {
+        (2_000_000, [("sc2003", 4_000), ("scale_out", 200_000)])
+    };
+    let mut replay = Vec::new();
+    for (scenario, depth) in depths {
+        eprintln!("[hotpath] queue replay {scenario} (depth {depth})…");
+        let heap_ops = queue_replay(QueueKind::Heap, depth, replay_ops);
+        let ladder_ops = queue_replay(QueueKind::Ladder, depth, replay_ops);
+        replay.push(ReplayRow {
+            scenario,
+            depth,
+            heap_ops,
+            ladder_ops,
+        });
+    }
+
+    // Whole-engine differential runs.
+    let (reps, engine_cfgs): (usize, Vec<(&'static str, ScenarioConfig)>) = if smoke {
+        (
+            1,
+            vec![
+                (
+                    "sc2003",
+                    ScenarioConfig::sc2003().with_scale(0.01).with_days(6),
+                ),
+                (
+                    "scale_out",
+                    ScenarioConfig::scale_out().with_scale(0.1).with_days(4),
+                ),
+            ],
+        )
+    } else {
+        (
+            2,
+            vec![
+                ("sc2003", ScenarioConfig::sc2003().with_scale(0.2)),
+                ("scale_out", ScenarioConfig::scale_out().with_scale(2.0)),
+            ],
+        )
+    };
+    let mut engine = Vec::new();
+    for (scenario, cfg) in engine_cfgs {
+        eprintln!("[hotpath] engine {scenario} heap…");
+        let (events, heap_eps) = engine_events_per_sec(&cfg, QueueKind::Heap, reps);
+        eprintln!("[hotpath] engine {scenario} ladder…");
+        let (ev2, ladder_eps) = engine_events_per_sec(&cfg, QueueKind::Ladder, reps);
+        assert_eq!(events, ev2, "backends must process identical event counts");
+        engine.push(EngineRow {
+            scenario,
+            events,
+            heap_eps,
+            ladder_eps,
+        });
+    }
+
+    println!(
+        "hot-path engine measurements{}:",
+        if smoke { " (smoke)" } else { "" }
+    );
+    for r in &replay {
+        println!(
+            "  queue replay {:>9} depth {:>7}: heap {:>12.0} ops/s  ladder {:>12.0} ops/s  ({:.2}x)",
+            r.scenario,
+            r.depth,
+            r.heap_ops,
+            r.ladder_ops,
+            r.ladder_ops / r.heap_ops
+        );
+    }
+    for r in &engine {
+        println!(
+            "  engine {:>9} ({:>9} events): heap {:>9.0} ev/s  ladder {:>9.0} ev/s  ({:.2}x)",
+            r.scenario,
+            r.events,
+            r.heap_eps,
+            r.ladder_eps,
+            r.ladder_eps / r.heap_eps
+        );
+    }
+
+    if smoke {
+        // CI guard: the ladder must at least keep parity with the heap
+        // on raw queue churn. Engine-level smoke runs are too short to
+        // assert a speedup without flaking; the recorded full-run JSON
+        // carries the real numbers.
+        for r in &replay {
+            let ratio = r.ladder_ops / r.heap_ops;
+            assert!(
+                ratio >= 1.0,
+                "ladder lost to heap on {} replay: {ratio:.3}x",
+                r.scenario
+            );
+        }
+        eprintln!("[hotpath] smoke OK (JSON left untouched)");
+        return;
+    }
+
+    let replay_json: Vec<String> = replay
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"scenario\": \"{}\", \"depth\": {}, \"ops\": {}, \"heap_ops_per_sec\": {:.0}, \"ladder_ops_per_sec\": {:.0}, \"ladder_ratio\": {:.3} }}",
+                r.scenario, r.depth, replay_ops, r.heap_ops, r.ladder_ops, r.ladder_ops / r.heap_ops
+            )
+        })
+        .collect();
+    let engine_json: Vec<String> = engine
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"scenario\": \"{}\", \"events\": {}, \"heap_events_per_sec\": {:.0}, \"ladder_events_per_sec\": {:.0}, \"ladder_ratio\": {:.3} }}",
+                r.scenario, r.events, r.heap_eps, r.ladder_eps, r.ladder_eps / r.heap_eps
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"queue_replay\": [\n{}\n  ],\n  \"engine\": [\n{}\n  ]\n}}\n",
+        replay_json.join(",\n"),
+        engine_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    std::fs::write(path, json).expect("write BENCH_hotpath.json");
+    eprintln!("[hotpath] wrote BENCH_hotpath.json");
+}

@@ -271,6 +271,69 @@ mod tests {
     }
 
     #[test]
+    fn empty_plans_merge_to_empty_summaries() {
+        // No seeds: every variant is present but carries zeroed bands.
+        let no_seeds = CampaignPlan::single("base", tiny(), vec![]);
+        assert!(no_seeds.is_empty());
+        assert_eq!(no_seeds.len(), 0);
+        let outcome = run_campaign_serial(&no_seeds);
+        assert_eq!(outcome.summary.runs, 0);
+        assert_eq!(outcome.summary.variants.len(), 1);
+        let v = &outcome.summary.variants[0];
+        assert_eq!(v.efficiency.mean, 0.0);
+        assert_eq!(v.efficiency.p50, 0.0);
+        assert_eq!(v.total_jobs.max, 0.0);
+        assert!(outcome.reports[0].is_empty());
+
+        // No variants: nothing to summarise at all.
+        let no_variants = CampaignPlan {
+            variants: vec![],
+            seeds: vec![1, 2],
+        };
+        assert!(no_variants.is_empty());
+        let outcome = run_campaign_serial(&no_variants);
+        assert_eq!(outcome.summary.runs, 0);
+        assert!(outcome.summary.variants.is_empty());
+        assert!(outcome.reports.is_empty());
+    }
+
+    #[test]
+    fn single_run_bands_degenerate_to_that_run() {
+        let plan = CampaignPlan::single("solo", tiny(), vec![7]);
+        let outcome = run_campaign_serial(&plan);
+        assert_eq!(outcome.summary.runs, 1);
+        let v = &outcome.summary.variants[0];
+        // Every percentile of a one-sample band reads the same value.
+        for band in [&v.efficiency, &v.peak_concurrent, &v.total_jobs] {
+            assert_eq!(band.p5, band.p95, "one-sample band is flat");
+            assert_eq!(band.p50, band.mean);
+            assert_eq!(band.min, band.max);
+            assert_eq!(band.min, band.p50);
+        }
+        assert_eq!(
+            v.efficiency.p50,
+            outcome.reports[0][0].metrics.overall_efficiency
+        );
+    }
+
+    #[test]
+    fn nan_metrics_flow_through_bands_without_panicking() {
+        // A poisoned per-run metric (upstream 0/0) must not panic the
+        // merge, and — per the cmp_f64_asc NaN-last contract — must not
+        // masquerade as the sample minimum even when negatively signed.
+        let neg_nan = f64::NAN.copysign(-1.0);
+        let band = PercentileBand::from_samples(&[0.9, neg_nan, 0.1, f64::NAN, 0.5]);
+        assert_eq!(band.p5, 0.1, "NaN stays out of the low percentiles");
+        assert_eq!(band.p50, 0.9);
+        assert!(band.p95.is_nan(), "NaN pools at the top rank");
+        assert!(band.mean.is_nan(), "the mean honestly reports poison");
+        // All-NaN samples: nothing to rank, nothing to panic over.
+        let poisoned = PercentileBand::from_samples(&[f64::NAN, neg_nan]);
+        assert!(poisoned.p50.is_nan());
+        assert!(poisoned.mean.is_nan());
+    }
+
+    #[test]
     fn plan_enumerates_variants_times_seeds() {
         let plan = CampaignPlan::single("base", tiny(), vec![1, 2, 3])
             .with_variant("srm", tiny().with_srm(true));

@@ -125,10 +125,15 @@ impl Grid3Engine {
             GridEvent::Timer(at, inner) => self.ctx.queue.schedule_at(at, *inner),
         }
         if !self.ctx.immediates.is_empty() {
-            let batch = std::mem::take(&mut self.ctx.immediates);
-            for ev in batch {
+            // Swap in a recycled buffer so the nested dispatches emit into
+            // pre-warmed storage; the drained batch returns to the pool
+            // with its capacity intact. Emission order is untouched.
+            let mut batch = self.ctx.drain_pool.pop().unwrap_or_default();
+            std::mem::swap(&mut batch, &mut self.ctx.immediates);
+            for ev in batch.drain(..) {
                 self.dispatch(now, ev);
             }
+            self.ctx.drain_pool.push(batch);
         }
     }
 

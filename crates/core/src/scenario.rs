@@ -79,6 +79,25 @@ pub struct ScenarioConfig {
     /// Correlated multi-site outage storms (§6.2's "all jobs submitted to
     /// a site would die" episodes, hitting several sites at once).
     pub storms: Vec<StormSpec>,
+    /// Topology replication factor (1 = the historical 27-site catalog).
+    /// Values above 1 append full `~k`-suffixed copies of the catalog —
+    /// the [`ScenarioConfig::scale_out`] stress grid.
+    pub site_replicas: usize,
+    /// Which event-queue backend drives the run. [`QueueKind::Ladder`]
+    /// is the production default; [`QueueKind::Heap`] keeps the original
+    /// binary heap available for differential tests and benchmarks. The
+    /// two produce bit-identical reports (same total event order).
+    pub queue: QueueKind,
+}
+
+/// Event-queue backend selector (see [`ScenarioConfig::queue`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// FIFO-stable two-tier ladder queue — amortized O(1) per event.
+    #[default]
+    Ladder,
+    /// The original `BinaryHeap` backend — O(log n) per event.
+    Heap,
 }
 
 /// A correlated multi-site outage: every listed site's grid services
@@ -115,7 +134,22 @@ impl ScenarioConfig {
             campaigns: Vec::new(),
             resilience: None,
             storms: Vec::new(),
+            site_replicas: 1,
+            queue: QueueKind::Ladder,
         }
+    }
+
+    /// The hot-path stress grid: the SC2003 month with the site catalog
+    /// replicated 10× (≈300 sites, ≈28 k steady CPUs) and 10× the job
+    /// arrivals. Workload quotas still honour the `scale` knob, so
+    /// benchmarks can trim the run length/volume without losing the
+    /// widened topology (`scale_out().with_scale(10.0 * s)` keeps
+    /// arrivals at 10× of a scale-`s` baseline).
+    pub fn scale_out() -> Self {
+        Self::sc2003()
+            .with_site_replicas(10)
+            .with_scale(10.0)
+            .with_demo(false)
     }
 
     /// The *operated* SC2003 window: the resilience layer on (with its
@@ -163,10 +197,25 @@ impl ScenarioConfig {
         self
     }
 
-    /// Replace the workload scale.
+    /// Replace the workload scale. `1.0` is the historical record;
+    /// fractions keep tests fast, factors above one stress-test arrival
+    /// volume (the scale-out benchmarks).
     pub fn with_scale(mut self, scale: f64) -> Self {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        assert!(scale > 0.0, "scale must be positive");
         self.scale = scale;
+        self
+    }
+
+    /// Replace the topology replication factor.
+    pub fn with_site_replicas(mut self, replicas: usize) -> Self {
+        assert!(replicas >= 1, "site_replicas must be at least 1");
+        self.site_replicas = replicas;
+        self
+    }
+
+    /// Replace the event-queue backend.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
         self
     }
 
@@ -374,6 +423,23 @@ mod tests {
     #[should_panic(expected = "scale must be")]
     fn zero_scale_rejected() {
         let _ = ScenarioConfig::sc2003().with_scale(0.0);
+    }
+
+    #[test]
+    fn scale_out_widens_topology_and_arrivals() {
+        let cfg = ScenarioConfig::scale_out();
+        assert_eq!(cfg.site_replicas, 10);
+        assert_eq!(cfg.scale, 10.0);
+        assert!(!cfg.include_demo, "demo stays off in the stress grid");
+        assert_eq!(cfg.queue, QueueKind::Ladder);
+        // Over-unity scales multiply quotas (ceil keeps them integral).
+        let full: u64 = grid3_workloads().iter().map(|w| w.total_jobs()).sum();
+        let scaled: u64 = cfg.scaled_workloads().iter().map(|w| w.total_jobs()).sum();
+        assert_eq!(scaled, 10 * full);
+        // A trimmed scale-out run goes end to end on the widened grid.
+        let report = cfg.with_scale(0.02).with_days(3).run();
+        let jobs: u64 = report.table1.iter().map(|c| c.jobs).sum();
+        assert!(jobs > 0, "scale-out run completed work");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use grid3_middleware::voms::{VoRole, VomsServer};
 use grid3_monitoring::mdviewer::MdViewer;
 use grid3_monitoring::trace::TraceStore;
 use grid3_simkit::engine::EventQueue;
+use grid3_simkit::hash::FastMap;
 use grid3_simkit::ids::{JobIdGen, SiteId, UserId};
 use grid3_simkit::rng::SimRng;
 use grid3_simkit::series::GaugeTracker;
@@ -32,7 +33,6 @@ use grid3_site::failure::FailureEvent;
 use grid3_site::vo::Vo;
 use grid3_workflow::dagman::DagManager;
 use grid3_workflow::mop::{McRunJob, ProductionRequest};
-use std::collections::HashMap;
 
 use super::brokering::Brokering;
 use super::execution::Execution;
@@ -46,13 +46,16 @@ use super::{BrokeringEvent, EngineCtx, FaultEvent, GridEvent, ReportingEvent, St
 /// through the iGOC pipeline, register users with VOMS/GSI/AUP, schedule
 /// workloads, demo rounds, failure incidents and monitor ticks.
 pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
-    let topo = crate::topology::grid3_topology();
+    let topo = crate::topology::grid3_topology().replicated(cfg.site_replicas);
     let mut sites = topo.build_sites();
     let mut center = OperationsCenter::new(cfg.pipeline.clone());
     // GRIS records must outlive the republish period or every broker
     // query sees an empty grid.
     center.mds.set_ttl(cfg.monitor_interval * 2);
-    let mut queue: EventQueue<GridEvent> = EventQueue::new();
+    let mut queue: EventQueue<GridEvent> = match cfg.queue {
+        crate::scenario::QueueKind::Ladder => EventQueue::new(),
+        crate::scenario::QueueKind::Heap => EventQueue::with_heap(),
+    };
 
     // Onboard every site (§5.1). Sites whose latent fault evaded
     // certification run with elevated misconfiguration rates (§6.2).
@@ -265,6 +268,7 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         telemetry,
         traces: TraceStore::new(),
         immediates: Vec::new(),
+        drain_pool: Vec::new(),
     };
     let fabric = GridFabric {
         resilience,
@@ -278,12 +282,12 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         voms,
         ca,
         job_gauge: GaugeTracker::new(SimTime::EPOCH),
-        jobs: HashMap::new(),
+        jobs: FastMap::default(),
         job_ids: JobIdGen::new(),
-        transfer_purpose: HashMap::new(),
-        job_spans: HashMap::new(),
-        gram_spans: HashMap::new(),
-        transfer_spans: HashMap::new(),
+        transfer_purpose: FastMap::default(),
+        job_spans: FastMap::default(),
+        gram_spans: FastMap::default(),
+        transfer_spans: FastMap::default(),
     };
     Grid3Engine {
         ctx,

@@ -7,9 +7,10 @@
 //! [`BrokeringEvent::CampaignOutcome`] events emitted by the fabric's
 //! terminal funnel.
 
-use crate::broker::Broker;
+use crate::broker::{Broker, RankCache};
 use grid3_middleware::mds::GlueRecord;
 use grid3_monitoring::trace::TraceEvent;
+use grid3_simkit::hash::FastMap;
 use grid3_simkit::ids::{JobId, SiteId};
 use grid3_simkit::telemetry::SpanId;
 use grid3_simkit::time::{SimDuration, SimTime};
@@ -18,7 +19,6 @@ use grid3_site::job::{FailureCause, JobOutcome, JobSpec};
 use grid3_workflow::dag::NodeId as DagNodeId;
 use grid3_workflow::dagman::{DagManager, DagState, FailureAction};
 use grid3_workflow::mop::CmsTask;
-use std::collections::HashMap;
 
 use super::fabric::{ActiveJob, ExecutionFate, Phase, TransferPurpose, NO_TRANSFER};
 use super::{BrokeringEvent, EngineCtx, GridEvent, GridFabric, StagingEvent, Subsystem};
@@ -32,18 +32,22 @@ const CAMPAIGN_RETRY_BASE_DELAY: SimDuration = SimDuration::from_mins(30);
 /// The brokering subsystem (see the module docs).
 pub struct Brokering {
     broker: Broker,
+    /// Site ranking memoised per MDS epoch (see [`RankCache`]); spares
+    /// the broker an O(n log n) re-score on every placement between
+    /// monitor ticks.
+    rank_cache: RankCache,
     /// Jobs waiting out a retry backoff before re-brokering:
     /// `(spec, vo_affinity, attempts already made)`.
-    retry_state: HashMap<JobId, (JobSpec, f64, u32)>,
+    retry_state: FastMap<JobId, (JobSpec, f64, u32)>,
     /// Jobs whose broker found no eligible site.
     pub(crate) unplaced_jobs: u64,
     campaigns: Vec<(String, DagManager<CmsTask>)>,
-    campaign_job_map: HashMap<JobId, (usize, DagNodeId)>,
+    campaign_job_map: FastMap<JobId, (usize, DagNodeId)>,
     /// Per-node retry backoff: a node listed here stays Ready but is not
     /// resubmitted before the stored time, even if another tick fires first.
-    campaign_hold: HashMap<(usize, DagNodeId), SimTime>,
+    campaign_hold: FastMap<(usize, DagNodeId), SimTime>,
     /// Open DAGMan node spans (released → outcome fed back).
-    dagman_spans: HashMap<JobId, SpanId>,
+    dagman_spans: FastMap<JobId, SpanId>,
 }
 
 impl Brokering {
@@ -51,12 +55,13 @@ impl Brokering {
     pub(crate) fn new(campaigns: Vec<(String, DagManager<CmsTask>)>) -> Self {
         Brokering {
             broker: Broker::default(),
-            retry_state: HashMap::new(),
+            rank_cache: RankCache::new(),
+            retry_state: FastMap::default(),
             unplaced_jobs: 0,
             campaigns,
-            campaign_job_map: HashMap::new(),
-            campaign_hold: HashMap::new(),
-            dagman_spans: HashMap::new(),
+            campaign_job_map: FastMap::default(),
+            campaign_hold: FastMap::default(),
+            dagman_spans: FastMap::default(),
         }
     }
 
@@ -180,11 +185,29 @@ impl Brokering {
                 .collect(),
             None => Vec::new(),
         };
-        let selected =
+        self.rank_cache.refresh(&fabric.center.mds);
+        #[cfg(debug_assertions)]
+        let mut reference_rng = ctx.broker_rng.clone();
+        let selected = self.broker.select_ranked(
+            &spec,
+            affinity,
+            &online,
+            self.rank_cache.order(),
+            &mut ctx.broker_rng,
+            |s| banned.contains(&s),
+        );
+        // Debug builds replay the selection through the uncached
+        // reference broker on a cloned RNG — the fast path must be
+        // bit-identical, not just plausible.
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            selected,
             self.broker
-                .select_filtered(&spec, affinity, &online, &mut ctx.broker_rng, |s| {
+                .select_filtered(&spec, affinity, &online, &mut reference_rng, |s| {
                     banned.contains(&s)
-                });
+                }),
+            "rank-cache fast path diverged from the reference broker"
+        );
         let Some(site) = selected else {
             // An empty grid view is usually transient (MDS records expired
             // during a monitoring gap, or every candidate mid-outage):

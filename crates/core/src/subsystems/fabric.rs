@@ -29,6 +29,7 @@ use grid3_middleware::gsi::CertificateAuthority;
 use grid3_middleware::rls::ReplicaLocationService;
 use grid3_middleware::voms::VomsServer;
 use grid3_monitoring::trace::TraceEvent;
+use grid3_simkit::hash::FastMap;
 use grid3_simkit::ids::{FileId, JobId, JobIdGen, SiteId, TransferId};
 use grid3_simkit::series::GaugeTracker;
 use grid3_simkit::telemetry::SpanId;
@@ -37,7 +38,6 @@ use grid3_simkit::units::Bytes;
 use grid3_site::cluster::Site;
 use grid3_site::job::{FailureCause, JobOutcome, JobRecord, JobSpec};
 use grid3_site::storage::ReservationId;
-use std::collections::HashMap;
 
 use super::{BrokeringEvent, EngineCtx, FaultEvent, GridEvent, ReportingEvent};
 
@@ -135,17 +135,17 @@ pub struct GridFabric {
     /// Concurrent-running-jobs gauge (§7 peak metric).
     pub job_gauge: GaugeTracker,
     /// Jobs in flight, from gatekeeper acceptance to terminal record.
-    pub jobs: HashMap<JobId, ActiveJob>,
+    pub jobs: FastMap<JobId, ActiveJob>,
     /// Grid-wide job id allocator.
     pub job_ids: JobIdGen,
     /// What each in-flight GridFTP transfer is for.
-    pub transfer_purpose: HashMap<TransferId, TransferPurpose>,
+    pub transfer_purpose: FastMap<TransferId, TransferPurpose>,
     /// Open engine-level "job" spans (submit → terminal record).
-    pub job_spans: HashMap<JobId, SpanId>,
+    pub job_spans: FastMap<JobId, SpanId>,
     /// Open gatekeeper spans (accepted → resources released).
-    pub gram_spans: HashMap<JobId, SpanId>,
+    pub gram_spans: FastMap<JobId, SpanId>,
     /// Open GridFTP transfer spans (start → complete/failure).
-    pub transfer_spans: HashMap<TransferId, SpanId>,
+    pub transfer_spans: FastMap<TransferId, SpanId>,
 }
 
 impl GridFabric {

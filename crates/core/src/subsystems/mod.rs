@@ -232,6 +232,10 @@ pub struct EngineCtx {
     /// execution-side id linkage, per-user accounting).
     pub traces: grid3_monitoring::trace::TraceStore,
     pub(crate) immediates: Vec<GridEvent>,
+    /// Spare drain buffers recycled by the router so each dispatch level
+    /// swaps in a pre-warmed `Vec` instead of growing a fresh one. Depth
+    /// mirrors the deepest immediate cascade seen so far (a handful).
+    pub(crate) drain_pool: Vec<Vec<GridEvent>>,
 }
 
 impl EngineCtx {

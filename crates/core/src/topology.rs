@@ -26,8 +26,9 @@ use serde::{Deserialize, Serialize};
 /// Declarative description of one site before construction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SiteSpec {
-    /// Facility name.
-    pub name: &'static str,
+    /// Facility name. Owned so scaled-out topologies can carry suffixed
+    /// replica names (`"BNL_ATLAS_Tier1~2"`).
+    pub name: String,
     /// Facility class.
     pub tier: SiteTier,
     /// Operating VO.
@@ -79,7 +80,7 @@ impl Topology {
                 Site::new(
                     SiteId(i as u32),
                     SiteProfile {
-                        name: s.name.to_string(),
+                        name: s.name.clone(),
                         tier: s.tier,
                         owner_vo: s.owner_vo,
                         cpus: s.cpus,
@@ -140,6 +141,25 @@ impl Topology {
         )
     }
 
+    /// Scale the inventory out `factor`×: the original specs keep their
+    /// names and ids, and each extra replica round appends a full copy of
+    /// the catalog with `~k`-suffixed names (distinct names drive
+    /// distinct per-site RNG streams during assembly). Archive routing is
+    /// untouched — [`Topology::archive_site`] matches the base names,
+    /// which come first. This is the stress topology behind
+    /// [`crate::scenario::ScenarioConfig::scale_out`].
+    pub fn replicated(mut self, factor: usize) -> Topology {
+        let base = self.specs.clone();
+        for k in 1..factor.max(1) {
+            self.specs.extend(base.iter().map(|s| {
+                let mut r = s.clone();
+                r.name = format!("{}~{k}", s.name);
+                r
+            }));
+        }
+        self
+    }
+
     /// Number of sites.
     pub fn len(&self) -> usize {
         self.specs.len()
@@ -153,7 +173,7 @@ impl Topology {
 
 /// One line of the inventory table.
 #[allow(clippy::too_many_arguments)]
-const fn spec(
+fn spec(
     name: &'static str,
     tier: SiteTier,
     owner_vo: Option<Vo>,
@@ -167,7 +187,7 @@ const fn spec(
     max_walltime_hr: u64,
 ) -> SiteSpec {
     SiteSpec {
-        name,
+        name: name.to_string(),
         tier,
         owner_vo,
         cpus,
@@ -531,7 +551,7 @@ pub fn grid3_topology() -> Topology {
     // metric).
     for s in specs.iter_mut() {
         let lock_to_owner = matches!(
-            s.name,
+            s.name.as_str(),
             "Hampton_ATLAS"
                 | "Harvard_ATLAS"
                 | "OU_HEP"
@@ -652,6 +672,28 @@ mod tests {
         let acdc = topo.specs.iter().find(|s| s.name == "UB_ACDC").unwrap();
         assert!(acdc.nightly_rollover);
         assert_eq!(topo.specs.iter().filter(|s| s.nightly_rollover).count(), 1);
+    }
+
+    #[test]
+    fn replication_scales_out_the_catalog() {
+        let base = grid3_topology();
+        let topo = grid3_topology().replicated(3);
+        assert_eq!(topo.len(), 3 * base.len());
+        assert_eq!(topo.steady_cpus(), 3 * base.steady_cpus());
+        // Base names keep their ids, replicas get suffixed names.
+        assert_eq!(topo.specs[0].name, "BNL_ATLAS_Tier1");
+        assert_eq!(topo.specs[base.len()].name, "BNL_ATLAS_Tier1~1");
+        assert_eq!(topo.specs[2 * base.len()].name, "BNL_ATLAS_Tier1~2");
+        // Archive routing still resolves to the original anchors.
+        for vo in Vo::ALL {
+            assert_eq!(topo.archive_site(vo), base.archive_site(vo));
+        }
+        // All replica ids are dense and buildable.
+        let sites = topo.build_sites();
+        assert_eq!(sites.len(), topo.len());
+        // Factor 1 (and 0, clamped) is the identity.
+        assert_eq!(grid3_topology().replicated(1).len(), base.len());
+        assert_eq!(grid3_topology().replicated(0).len(), base.len());
     }
 
     #[test]

@@ -26,11 +26,12 @@
 //! [`GramError::Overloaded`] — the "gatekeeper overloading" failures §6.1
 //! counts among the dominant site problems.
 
+use grid3_simkit::hash::FastMap;
 use grid3_simkit::ids::{JobId, SiteId};
 use grid3_simkit::telemetry::Telemetry;
 use grid3_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Sustained-load contribution per managed job at staging factor 1
 /// (225 load / 1000 jobs).
@@ -68,7 +69,7 @@ pub enum GramError {
 pub struct Gatekeeper {
     /// The site this gatekeeper fronts.
     pub site: SiteId,
-    managed: HashMap<JobId, f64>,
+    managed: FastMap<JobId, f64>,
     managed_weight: f64,
     submissions: VecDeque<SimTime>,
     overload_threshold: f64,
@@ -90,7 +91,7 @@ impl Gatekeeper {
     pub fn with_threshold(site: SiteId, threshold: f64) -> Self {
         Gatekeeper {
             site,
-            managed: HashMap::new(),
+            managed: FastMap::default(),
             managed_weight: 0.0,
             submissions: VecDeque::new(),
             overload_threshold: threshold,

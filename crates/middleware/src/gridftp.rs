@@ -14,13 +14,13 @@
 //! the aggregate daily volumes the paper reports, and the snapshot model
 //! keeps every transfer a single future event.
 
+use grid3_simkit::hash::FastMap;
 use grid3_simkit::ids::{SiteId, TransferId, TransferIdGen};
 use grid3_simkit::telemetry::Telemetry;
 use grid3_simkit::time::{SimDuration, SimTime};
 use grid3_simkit::units::{Bandwidth, Bytes};
 use grid3_site::vo::Vo;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Per-transfer setup cost (GSI handshake, control channel).
 pub const SETUP_LATENCY: SimDuration = SimDuration::from_secs(2);
@@ -117,12 +117,20 @@ struct ActiveTransfer {
 }
 
 /// The grid-wide GridFTP fabric.
+///
+/// Per-site link state lives in dense `Vec`s indexed by `site.index()`
+/// (site ids are dense from 0), so the per-transfer rate computation and
+/// stream accounting are array reads; only the in-flight transfer table
+/// needs a map, keyed by the deterministic fast hasher.
 #[derive(Debug, Clone)]
 pub struct GridFtp {
-    links: HashMap<SiteId, Bandwidth>,
-    link_up: HashMap<SiteId, bool>,
-    streams: HashMap<SiteId, usize>,
-    active: HashMap<TransferId, ActiveTransfer>,
+    /// Dense by site index; unknown sites read as zero bandwidth.
+    links: Vec<Bandwidth>,
+    /// Dense by site index; unknown sites read as "down".
+    link_up: Vec<bool>,
+    /// Dense by site index; concurrent transfers touching the site.
+    streams: Vec<usize>,
+    active: FastMap<TransferId, ActiveTransfer>,
     ids: TransferIdGen,
     log: Vec<NetLogEvent>,
     log_enabled: bool,
@@ -133,14 +141,23 @@ impl GridFtp {
     /// A fabric with the given per-site link bandwidths. NetLogger event
     /// capture is on by default (the Grid3 default per §4.7).
     pub fn new(links: impl IntoIterator<Item = (SiteId, Bandwidth)>) -> Self {
-        let links: HashMap<SiteId, Bandwidth> = links.into_iter().collect();
-        let link_up = links.keys().map(|s| (*s, true)).collect();
-        let streams = links.keys().map(|s| (*s, 0)).collect();
+        let mut table: Vec<Bandwidth> = Vec::new();
+        let mut up: Vec<bool> = Vec::new();
+        for (site, bw) in links {
+            let idx = site.index();
+            if idx >= table.len() {
+                table.resize(idx + 1, Bandwidth::ZERO);
+                up.resize(idx + 1, false);
+            }
+            table[idx] = bw;
+            up[idx] = true;
+        }
+        let streams = vec![0; table.len()];
         GridFtp {
-            links,
-            link_up,
+            links: table,
+            link_up: up,
             streams,
-            active: HashMap::new(),
+            active: FastMap::default(),
             ids: TransferIdGen::new(),
             log: Vec::new(),
             log_enabled: true,
@@ -161,17 +178,21 @@ impl GridFtp {
 
     /// Mark a site's link up or down.
     pub fn set_link_up(&mut self, site: SiteId, up: bool) {
-        self.link_up.insert(site, up);
+        let idx = site.index();
+        if idx >= self.link_up.len() {
+            self.link_up.resize(idx + 1, false);
+        }
+        self.link_up[idx] = up;
     }
 
     /// Whether a site's link is up.
     pub fn is_link_up(&self, site: SiteId) -> bool {
-        *self.link_up.get(&site).unwrap_or(&false)
+        self.link_up.get(site.index()).copied().unwrap_or(false)
     }
 
     /// Concurrent transfers currently touching `site`.
     pub fn streams_at(&self, site: SiteId) -> usize {
-        *self.streams.get(&site).unwrap_or(&0)
+        self.streams.get(site.index()).copied().unwrap_or(0)
     }
 
     /// Number of in-flight transfers.
@@ -195,9 +216,9 @@ impl GridFtp {
         let id = self.ids.next_id();
         self.tele
             .counter_add("gridftp", "started", vo_label(request.vo), 1);
-        *self.streams.entry(request.src).or_insert(0) += 1;
+        self.bump_streams(request.src);
         if request.dst != request.src {
-            *self.streams.entry(request.dst).or_insert(0) += 1;
+            self.bump_streams(request.dst);
         }
         let rate = self.current_rate(request.src, request.dst);
         let duration = rate
@@ -304,18 +325,14 @@ impl GridFtp {
     }
 
     fn current_rate(&self, src: SiteId, dst: SiteId) -> Bandwidth {
-        let src_rate = self
-            .links
-            .get(&src)
-            .copied()
-            .unwrap_or(Bandwidth::ZERO)
-            .share(self.streams_at(src));
-        let dst_rate = self
-            .links
-            .get(&dst)
-            .copied()
-            .unwrap_or(Bandwidth::ZERO)
-            .share(self.streams_at(dst));
+        let link = |site: SiteId| {
+            self.links
+                .get(site.index())
+                .copied()
+                .unwrap_or(Bandwidth::ZERO)
+        };
+        let src_rate = link(src).share(self.streams_at(src));
+        let dst_rate = link(dst).share(self.streams_at(dst));
         if src_rate.as_bytes_per_sec() <= dst_rate.as_bytes_per_sec() {
             src_rate
         } else {
@@ -323,13 +340,21 @@ impl GridFtp {
         }
     }
 
-    fn release_streams(&mut self, req: &TransferRequest) {
-        if let Some(s) = self.streams.get_mut(&req.src) {
-            *s = s.saturating_sub(1);
+    fn bump_streams(&mut self, site: SiteId) {
+        let idx = site.index();
+        if idx >= self.streams.len() {
+            self.streams.resize(idx + 1, 0);
         }
-        if req.dst != req.src {
-            if let Some(s) = self.streams.get_mut(&req.dst) {
+        self.streams[idx] += 1;
+    }
+
+    fn release_streams(&mut self, req: &TransferRequest) {
+        for site in [req.src, req.dst] {
+            if let Some(s) = self.streams.get_mut(site.index()) {
                 *s = s.saturating_sub(1);
+            }
+            if req.dst == req.src {
+                break;
             }
         }
     }

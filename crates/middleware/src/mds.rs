@@ -20,7 +20,6 @@ use grid3_simkit::units::{Bandwidth, Bytes};
 use grid3_site::cluster::Site;
 use grid3_site::vo::Vo;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A site's published information record: core GLUE attributes plus the
 /// Grid3 schema extensions of §5.1.
@@ -141,9 +140,22 @@ impl GiisIndex {
 /// The top-level MDS index at the iGOC (§5.4 hosts "the top-level MDS
 /// index server"). Records older than the TTL are treated as stale, which
 /// is how dead sites disappear from brokering.
+///
+/// Records live in a dense table indexed by [`SiteId`] — site ids are
+/// allocated densely from 0, so the broker's per-placement candidate scan
+/// is a straight vector walk in site-id order (no hashing, no sort), and
+/// [`MdsDirectory::lookup`] is an array index. Every publish bumps
+/// [`MdsDirectory::epoch`], which downstream caches (the broker's ranking
+/// cache) use as their invalidation signal.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MdsDirectory {
-    records: HashMap<SiteId, GlueRecord>,
+    /// Dense by `site.index()`; `None` = never published.
+    records: Vec<Option<GlueRecord>>,
+    /// Number of `Some` slots.
+    live: usize,
+    /// Incremented on every mutation that can change broker-visible
+    /// content (publish, TTL change).
+    epoch: u64,
     ttl: SimDuration,
     tele: Telemetry,
 }
@@ -156,7 +168,9 @@ impl MdsDirectory {
     /// A directory with the given staleness TTL.
     pub fn new(ttl: SimDuration) -> Self {
         MdsDirectory {
-            records: HashMap::new(),
+            records: Vec::new(),
+            live: 0,
+            epoch: 0,
             ttl,
             tele: Telemetry::disabled(),
         }
@@ -176,37 +190,58 @@ impl MdsDirectory {
     pub fn publish(&mut self, record: GlueRecord) {
         self.tele
             .counter_add("mds", "published", format!("site{}", record.site.0), 1);
-        self.records.insert(record.site, record);
+        let idx = record.site.index();
+        if idx >= self.records.len() {
+            self.records.resize_with(idx + 1, || None);
+        }
+        if self.records[idx].is_none() {
+            self.live += 1;
+        }
+        self.records[idx] = Some(record);
+        self.epoch += 1;
     }
 
     /// Change the staleness TTL (must cover the GRIS republish period).
     pub fn set_ttl(&mut self, ttl: SimDuration) {
         self.ttl = ttl;
+        self.epoch += 1;
+    }
+
+    /// Monotonic change counter: bumped on every publish (and TTL
+    /// change), so a consumer holding derived state — like the broker's
+    /// site-ranking cache — can revalidate with one integer compare.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The latest record for a site, fresh or stale.
     pub fn lookup(&self, site: SiteId) -> Option<&GlueRecord> {
-        self.records.get(&site)
+        self.records.get(site.index()).and_then(Option::as_ref)
     }
 
     /// Whether a site's record is fresh at `now`.
     pub fn is_fresh(&self, site: SiteId, now: SimTime) -> bool {
-        self.records
-            .get(&site)
+        self.lookup(site)
             .map(|r| now.since(r.timestamp) <= self.ttl)
             .unwrap_or(false)
     }
 
-    /// All fresh records at `now`, sorted by site id (deterministic
-    /// brokering order).
+    /// All fresh records at `now`, in site-id order (deterministic
+    /// brokering order — free here, since the table is dense by site).
     pub fn fresh_records(&self, now: SimTime) -> Vec<&GlueRecord> {
-        let mut v: Vec<&GlueRecord> = self
-            .records
-            .values()
+        self.records
+            .iter()
+            .flatten()
             .filter(|r| now.since(r.timestamp) <= self.ttl)
-            .collect();
-        v.sort_by_key(|r| r.site);
-        v
+            .collect()
+    }
+
+    /// Every record held, fresh or stale, in site-id order. Consumers
+    /// deriving epoch-keyed state (the broker's rank cache) score this
+    /// full set once per [`MdsDirectory::epoch`] and intersect with the
+    /// per-query fresh subset, so freshness never invalidates the cache.
+    pub fn all_records(&self) -> impl Iterator<Item = &GlueRecord> {
+        self.records.iter().flatten()
     }
 
     /// Fresh records admitting `vo`, the broker's candidate list.
@@ -221,12 +256,12 @@ impl MdsDirectory {
 
     /// Number of records held (fresh or stale).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.live
     }
 
     /// True when no records are held.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.live == 0
     }
 }
 

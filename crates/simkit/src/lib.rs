@@ -36,6 +36,7 @@
 
 pub mod dist;
 pub mod engine;
+pub mod hash;
 pub mod ids;
 pub mod rng;
 pub mod series;

@@ -140,17 +140,33 @@ pub fn cmp_f64_desc(a: f64, b: f64) -> std::cmp::Ordering {
     }
 }
 
+/// NaN-safe ascending order on `f64`, NaN (of either sign) last — the
+/// ascending mirror of [`cmp_f64_desc`].
+///
+/// Raw [`f64::total_cmp`] puts `-NaN` *below* `-inf`, so a negatively
+/// signed NaN from an upstream `0.0 / -0.0` would masquerade as the
+/// sample minimum and leak into low percentiles. Here both NaN signs
+/// rank after every number.
+pub fn cmp_f64_asc(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
 /// Percentile of a sample (nearest-rank on a sorted copy). `p` in `[0,100]`.
 ///
-/// NaN-safe: samples are ordered with [`f64::total_cmp`], so a NaN that
-/// sneaks in from an upstream division sorts to the high end instead of
-/// panicking mid-report.
+/// NaN-safe: samples are ordered with [`cmp_f64_asc`], so a NaN that
+/// sneaks in from an upstream division — of either sign — sorts to the
+/// high end instead of panicking mid-report or posing as the minimum.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(f64::total_cmp);
+    sorted.sort_by(|a, b| cmp_f64_asc(*a, *b));
     let rank = ((p.clamp(0.0, 100.0) / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
 }
@@ -252,6 +268,22 @@ mod tests {
         assert_eq!(xs[1], 0.5);
         assert_eq!(xs[2], -1.0);
         assert!(xs[3].is_nan());
+    }
+
+    #[test]
+    fn percentile_puts_either_nan_sign_last() {
+        // A negatively signed NaN (e.g. from 0.0 / -0.0) must not pose
+        // as the minimum: low percentiles stay finite whenever finite
+        // samples exist, and only the top rank can read out NaN.
+        let neg_nan = f64::NAN.copysign(-1.0);
+        let xs = [2.0, neg_nan, 1.0, f64::NAN, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert!(percentile(&xs, 100.0).is_nan());
+        use std::cmp::Ordering;
+        assert_eq!(cmp_f64_asc(1.0, 2.0), Ordering::Less);
+        assert_eq!(cmp_f64_asc(neg_nan, f64::NEG_INFINITY), Ordering::Greater);
+        assert_eq!(cmp_f64_asc(f64::INFINITY, f64::NAN), Ordering::Less);
     }
 
     #[test]

@@ -80,7 +80,7 @@ fn main() {
         .iter()
         .filter(|s| s.offline_after_day.is_none())
         .filter(|s| s.max_walltime_hr >= 60)
-        .map(|s| s.name)
+        .map(|s| s.name.as_str())
         .collect();
     println!(
         "{} of {} production sites grant ≥60 h walltime: {}",

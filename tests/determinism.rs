@@ -27,13 +27,16 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// Golden hashes recorded from the pre-refactor monolithic engine at
 /// 2 % workload scale over the full 30-day windows (demo included).
-const GOLDEN: [(&str, u64, u64); 6] = [
+const GOLDEN: [(&str, u64, u64); 7] = [
     ("sc2003", 2003, 0x9a81fc63ba6ab37f),
     ("sc2003_operated", 2003, 0x4890551a29889f49),
     ("sc2003", 7, 0x26e1d0268b73dbe9),
     ("sc2003_operated", 7, 0xf8331cf49d875fc1),
     ("sc2003", 42, 0x3bd788fab98bd8f6),
     ("sc2003_operated", 42, 0xebb4869a66a3aa75),
+    // Recorded with the heap-backed engine immediately before the ladder
+    // queue became the default: the queue swap must not move a byte.
+    ("sc2003_operated", 1234, 0x55138bc19796295f),
 ];
 
 fn config(scenario: &str, seed: u64) -> ScenarioConfig {
@@ -65,6 +68,26 @@ fn determinism_same_seed_same_hash_across_repeats() {
     let a = config("sc2003_operated", 7).run().to_json();
     let b = config("sc2003_operated", 7).run().to_json();
     assert_eq!(fnv1a64(a.as_bytes()), fnv1a64(b.as_bytes()));
+}
+
+#[test]
+fn determinism_heap_and_ladder_backends_agree() {
+    // Whole-engine differential run: the original binary-heap queue and
+    // the ladder queue must produce byte-identical reports (same event
+    // order, same RNG draws, same floats). A report hash compare over a
+    // full operated month catches any tie-break divergence the unit
+    // differential tests missed.
+    use grid3_core::scenario::QueueKind;
+    let ladder = config("sc2003_operated", 99).run().to_json();
+    let heap = config("sc2003_operated", 99)
+        .with_queue(QueueKind::Heap)
+        .run()
+        .to_json();
+    assert_eq!(
+        fnv1a64(ladder.as_bytes()),
+        fnv1a64(heap.as_bytes()),
+        "queue backends diverged"
+    );
 }
 
 #[test]

@@ -392,8 +392,8 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTr
     }
 }
 
-impl<K: Serialize + std::hash::Hash + Eq, V: Serialize> Serialize
-    for std::collections::HashMap<K, V>
+impl<K: Serialize + std::hash::Hash + Eq, V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<K, V, S>
 {
     fn to_value(&self) -> Value {
         // Deterministic output: sort object keys / pair entries by their
@@ -408,8 +408,11 @@ impl<K: Serialize + std::hash::Hash + Eq, V: Serialize> Serialize
     }
 }
 
-impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize
-    for std::collections::HashMap<K, V>
+impl<
+        K: Deserialize + std::hash::Hash + Eq,
+        V: Deserialize,
+        S: std::hash::BuildHasher + Default,
+    > Deserialize for std::collections::HashMap<K, V, S>
 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         map_entries(v)?
