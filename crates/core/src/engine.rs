@@ -69,6 +69,11 @@ pub struct Grid3Engine {
     pub(crate) execution: Execution,
     pub(crate) fault: FaultHandling,
     pub(crate) reporting: Reporting,
+    /// The invariant auditor (`None` unless the scenario enables
+    /// `audit`). Observation-only: it sees every pop and every routed
+    /// event but draws no randomness and schedules nothing, so it cannot
+    /// perturb the run.
+    pub(crate) auditor: Option<crate::chaos::InvariantAuditor>,
 }
 
 /// The historical name of the engine, kept for call sites and prose that
@@ -96,15 +101,56 @@ impl Grid3Engine {
                 .queue
                 .pop_profiled(&self.ctx.telemetry)
                 .expect("peeked");
+            if let Some(a) = &mut self.auditor {
+                a.observe_pop(now);
+            }
             self.dispatch(now, event);
         }
         self.fabric.drain_netlogger();
+        if let Some(a) = &mut self.auditor {
+            a.verify_conservation(
+                self.ctx.queue.now(),
+                &self.fabric,
+                self.brokering.parked_jobs(),
+            );
+        }
+    }
+
+    /// Run past the horizon until the event queue drains completely.
+    ///
+    /// Periodic drivers (monitor ticks, demo rounds) stop rescheduling at
+    /// the horizon, so the queue empties once in-flight work — including
+    /// chaos recovery tails like hung-job watchdogs and rescue-DAG
+    /// resubmissions — finishes. Quiescence tests use this to assert that
+    /// every submitted job reaches a terminal state even under fault
+    /// injection.
+    pub fn run_until_idle(&mut self) {
+        self.run();
+        while let Some((now, event)) = self.ctx.queue.pop_profiled(&self.ctx.telemetry) {
+            if let Some(a) = &mut self.auditor {
+                a.observe_pop(now);
+            }
+            self.dispatch(now, event);
+        }
+        self.fabric.drain_netlogger();
+        if let Some(a) = &mut self.auditor {
+            a.verify_conservation(
+                self.ctx.queue.now(),
+                &self.fabric,
+                self.brokering.parked_jobs(),
+            );
+        }
     }
 
     /// The typed router: hand the event to its subsystem, then drain the
     /// immediates it emitted depth-first in emission order (see the
     /// module docs for why that reproduces the monolith bit-for-bit).
     fn dispatch(&mut self, now: SimTime, event: GridEvent) {
+        // The auditor sees every routed event — timed pops *and* drained
+        // immediates — before the subsystem mutates the fabric.
+        if let Some(a) = &mut self.auditor {
+            a.observe_event(now, &event, &self.fabric);
+        }
         match event {
             GridEvent::Brokering(e) => {
                 self.brokering
@@ -253,5 +299,21 @@ impl Grid3Engine {
     /// The underlying event queue (read-only; for depth inspection).
     pub fn queue(&self) -> &EventQueue<GridEvent> {
         &self.ctx.queue
+    }
+
+    /// The invariant auditor (`None` unless the scenario enables `audit`).
+    pub fn audit(&self) -> Option<&crate::chaos::InvariantAuditor> {
+        self.auditor.as_ref()
+    }
+
+    /// Check an extracted report's totals against the audited ledger
+    /// (no-op without the auditor). Call after [`Grid3Report::extract`]:
+    /// any imbalance lands in the auditor's violation list.
+    ///
+    /// [`Grid3Report::extract`]: crate::report::Grid3Report::extract
+    pub fn audit_verify_report(&mut self, report: &crate::report::Grid3Report) {
+        if let Some(a) = &mut self.auditor {
+            a.verify_report(report);
+        }
     }
 }

@@ -125,6 +125,7 @@ fn dag_campaign_runs_inside_the_grid() {
             submit_day: 1,
             retries: 3,
             throttle: 12,
+            rescue_dags: 0,
         });
     let mut sim = Simulation::new(cfg);
     sim.run();

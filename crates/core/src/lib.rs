@@ -12,6 +12,10 @@
 //!   connectivity, disk, max runtime, bandwidth) plus the observed VO
 //!   affinity ("applications tend to favor the resources provided within
 //!   their VO").
+//! * [`chaos`] — deterministic fault injection: seeded, replayable
+//!   [`chaos::FaultPlan`]s over the paper's §6 failure classes, and the
+//!   [`chaos::InvariantAuditor`] that watches the event stream for
+//!   conservation violations (observation-only, bit-neutral).
 //! * [`engine`] — the thin event router: clock + typed event queue +
 //!   the five routed subsystem services, held bit-identical to the
 //!   former monolithic engine by the golden-hash determinism suite.
@@ -52,6 +56,7 @@
 
 pub mod broker;
 pub mod campaign;
+pub mod chaos;
 pub mod engine;
 pub mod report;
 pub mod resilience;
@@ -62,6 +67,7 @@ pub mod topology;
 #[cfg(test)]
 mod engine_tests;
 
+pub use chaos::{ChaosRates, FaultKind, FaultPlan, InvariantAuditor, PlannedFault, Violation};
 pub use engine::{Grid3Engine, Simulation};
 pub use report::Grid3Report;
 pub use resilience::{ResilienceConfig, ResilienceLayer};

@@ -40,6 +40,11 @@ pub struct CampaignSpec {
     pub retries: u32,
     /// DAGMan submission throttle (max simultaneously submitted nodes).
     pub throttle: usize,
+    /// Rescue-DAG resubmissions allowed after a node exhausts its
+    /// retries: each one re-arms every failed node with a fresh retry
+    /// budget, as resubmitting the written rescue DAG did (§4.2). Zero
+    /// disables the mechanism.
+    pub rescue_dags: u32,
 }
 
 /// Everything a run needs.
@@ -88,6 +93,16 @@ pub struct ScenarioConfig {
     /// binary heap available for differential tests and benchmarks. The
     /// two produce bit-identical reports (same total event order).
     pub queue: QueueKind,
+    /// Deterministic fault-injection plan (`None` by default: baseline
+    /// scenarios are bit-identical to the pre-chaos engine). The plan is
+    /// plain data — replaying the same plan under the same seed
+    /// reproduces the run bit-for-bit.
+    pub chaos: Option<crate::chaos::FaultPlan>,
+    /// Run the grid-wide invariant auditor alongside the simulation.
+    /// Observation-only: it draws no randomness, schedules no events and
+    /// adds nothing to the report, so enabling it cannot change a run's
+    /// golden hash.
+    pub audit: bool,
 }
 
 /// Event-queue backend selector (see [`ScenarioConfig::queue`]).
@@ -136,7 +151,25 @@ impl ScenarioConfig {
             storms: Vec::new(),
             site_replicas: 1,
             queue: QueueKind::Ladder,
+            chaos: None,
+            audit: false,
         }
+    }
+
+    /// The SC2003 window under a sampled chaos plan with the auditor on:
+    /// every §6 failure class fires at its default rate over the month,
+    /// and the invariant auditor checks conservation as the grid absorbs
+    /// them. The plan is sampled from the scenario seed, so the whole
+    /// run stays a pure function of `(config, seed)`.
+    pub fn sc2003_chaos() -> Self {
+        let base = Self::sc2003();
+        let plan = crate::chaos::FaultPlan::sample(
+            &crate::chaos::ChaosRates::grid3_default(),
+            base.seed,
+            crate::topology::grid3_topology().len(),
+            base.horizon().since(SimTime::EPOCH),
+        );
+        base.with_chaos(plan).with_audit(true)
     }
 
     /// The hot-path stress grid: the SC2003 month with the site catalog
@@ -264,6 +297,18 @@ impl ScenarioConfig {
     /// Add a correlated multi-site outage storm.
     pub fn with_storm(mut self, storm: StormSpec) -> Self {
         self.storms.push(storm);
+        self
+    }
+
+    /// Install a deterministic fault-injection plan.
+    pub fn with_chaos(mut self, plan: crate::chaos::FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Enable/disable the invariant auditor.
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
         self
     }
 

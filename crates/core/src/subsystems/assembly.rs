@@ -195,6 +195,57 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         }
     }
 
+    // Deterministic fault injection: the chaos plan is plain data — each
+    // planned fault becomes a routed event, so every subsystem exercises
+    // its real handling code. Scheduled after storms and before the
+    // demonstrator, in plan order (the plan is sorted by time).
+    if let Some(plan) = &cfg.chaos {
+        use crate::chaos::FaultKind;
+        for fault in &plan.faults {
+            if fault.at >= cfg.horizon() {
+                continue;
+            }
+            if let Some(site) = fault.kind.site() {
+                if site.index() >= sites.len() {
+                    continue;
+                }
+            }
+            let event = match fault.kind {
+                FaultKind::BlackHole { site, duration } => {
+                    GridEvent::Fault(FaultEvent::ChaosBlackHole(site, duration))
+                }
+                FaultKind::DiskExhaustion {
+                    site,
+                    external_bytes,
+                    cleanup_after,
+                } => GridEvent::Fault(FaultEvent::Incident(
+                    site,
+                    FailureEvent::DiskFull {
+                        at: fault.at,
+                        external_bytes,
+                        cleanup_after,
+                    },
+                )),
+                FaultKind::TransferTruncation { corrupt } => {
+                    GridEvent::Staging(StagingEvent::ChaosTruncateTransfer { corrupt })
+                }
+                FaultKind::StaleReplicas { site, duration } => {
+                    GridEvent::Fault(FaultEvent::ChaosRlsStale(site, duration))
+                }
+                FaultKind::MdsStaleness { site, duration } => {
+                    GridEvent::Fault(FaultEvent::ChaosMdsFreeze(site, duration))
+                }
+                FaultKind::SensorBlackout { site, duration } => {
+                    GridEvent::Fault(FaultEvent::ChaosSensorBlackout(site, duration))
+                }
+                FaultKind::IgocPartition { site, duration } => {
+                    GridEvent::Fault(FaultEvent::ChaosIgocPartition(site, duration))
+                }
+            };
+            queue.schedule_at(fault.at, event);
+        }
+    }
+
     // The Entrada GridFTP demonstrator (§4.7, §6.3): a matrix over the
     // best-connected persistent sites, hourly, sized for the paper's
     // 2 TB/day goal.
@@ -270,6 +321,12 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         immediates: Vec::new(),
         drain_pool: Vec::new(),
     };
+    let auditor = if cfg.audit {
+        Some(crate::chaos::InvariantAuditor::new())
+    } else {
+        None
+    };
+    let chaos_state = crate::chaos::ChaosState::new(sites.len());
     let fabric = GridFabric {
         resilience,
         cfg,
@@ -288,6 +345,7 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         job_spans: FastMap::default(),
         gram_spans: FastMap::default(),
         transfer_spans: FastMap::default(),
+        chaos: chaos_state,
     };
     Grid3Engine {
         ctx,
@@ -297,5 +355,6 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         execution: Execution,
         fault: FaultHandling::default(),
         reporting: Reporting::new(viewer),
+        auditor,
     }
 }

@@ -29,6 +29,10 @@ use super::{BrokeringEvent, EngineCtx, GridEvent, GridFabric, StagingEvent, Subs
 /// cleanup (up to 20 h) that would otherwise eat every retry.
 const CAMPAIGN_RETRY_BASE_DELAY: SimDuration = SimDuration::from_mins(30);
 
+/// How long a rescue-DAG resubmission waits before its first tick —
+/// the operator noticing the dead campaign and resubmitting (§4.2).
+const RESCUE_DAG_DELAY: SimDuration = SimDuration::from_hours(2);
+
 /// The brokering subsystem (see the module docs).
 pub struct Brokering {
     broker: Broker,
@@ -48,6 +52,9 @@ pub struct Brokering {
     campaign_hold: FastMap<(usize, DagNodeId), SimTime>,
     /// Open DAGMan node spans (released → outcome fed back).
     dagman_spans: FastMap<JobId, SpanId>,
+    /// Rescue-DAG resubmissions already spent, per campaign index
+    /// (bounded by each campaign's `rescue_dags` budget).
+    campaign_rescues: FastMap<usize, u32>,
 }
 
 impl Brokering {
@@ -62,6 +69,7 @@ impl Brokering {
             campaign_job_map: FastMap::default(),
             campaign_hold: FastMap::default(),
             dagman_spans: FastMap::default(),
+            campaign_rescues: FastMap::default(),
         }
     }
 
@@ -367,16 +375,28 @@ impl Brokering {
                 GridEvent::Staging(StagingEvent::StageInDone(job, NO_TRANSFER)),
             );
         } else {
-            match fabric.gridftp.start(
-                grid3_middleware::gridftp::TransferRequest {
-                    src,
-                    dst: site,
-                    bytes: input,
-                    vo,
-                },
-                now,
-            ) {
-                Ok((xfer, finish)) => {
+            // A stale RLS answer (chaos fault) routes the stage-in at data
+            // the catalog still advertises but the disk no longer serves:
+            // the transfer cannot start, and the job re-brokers exactly
+            // like any other dead door. Never stale in baseline runs.
+            let started = if fabric.rls.is_stale(src) {
+                None
+            } else {
+                fabric
+                    .gridftp
+                    .start(
+                        grid3_middleware::gridftp::TransferRequest {
+                            src,
+                            dst: site,
+                            bytes: input,
+                            vo,
+                        },
+                        now,
+                    )
+                    .ok()
+            };
+            match started {
+                Some((xfer, finish)) => {
                     fabric
                         .transfer_purpose
                         .insert(xfer, TransferPurpose::JobStageIn(job));
@@ -386,11 +406,12 @@ impl Brokering {
                         GridEvent::Staging(StagingEvent::StageInDone(job, xfer)),
                     );
                 }
-                Err(_) => {
+                None => {
                     // The transfer could not even start: one end's GridFTP
                     // door is down (often the *archive*, which a healthy
-                    // execution site can do nothing about). Re-broker
-                    // after backoff rather than dying on the spot.
+                    // execution site can do nothing about), or the replica
+                    // catalog fed us a stale answer. Re-broker after
+                    // backoff rather than dying on the spot.
                     if Self::can_retry(fabric, attempt) {
                         self.park_for_retry(ctx, fabric, now, job, affinity, attempt);
                     } else {
@@ -509,7 +530,28 @@ impl Brokering {
                     self.campaign_hold.insert((idx, node), now + delay);
                     delay
                 }
-                FailureAction::Permanent => return,
+                FailureAction::Permanent => {
+                    // The node exhausted its retries: real DAGMan writes a
+                    // rescue DAG and the operator resubmits it, re-arming
+                    // every failed node with a fresh retry budget (§4.2).
+                    // Budgeted per campaign by `rescue_dags`; zero (the
+                    // default) keeps the old stop-dead behaviour.
+                    let budget = fabric.cfg.campaigns[idx].rescue_dags;
+                    let used = self.campaign_rescues.entry(idx).or_insert(0);
+                    if *used >= budget {
+                        return;
+                    }
+                    *used += 1;
+                    let retries = fabric.cfg.campaigns[idx].retries;
+                    let rearmed = mgr.rescue(retries);
+                    ctx.telemetry.counter_add(
+                        "dagman",
+                        "rescue_dag",
+                        format!("campaign{idx}"),
+                        rearmed as u64,
+                    );
+                    RESCUE_DAG_DELAY
+                }
             }
         };
         // Re-tick whenever more work could start: children just released,

@@ -24,6 +24,11 @@ use super::{EngineCtx, ExecutionEvent, GridEvent, GridFabric, StagingEvent, Subs
 #[derive(Default)]
 pub struct Execution;
 
+/// Grace period past a job's requested walltime before the hung-job
+/// watchdog declares it lost. Generous enough that no healthy fate
+/// (all capped at the requested walltime) can be reaped by mistake.
+const HUNG_JOB_GRACE: SimDuration = SimDuration::from_hours(1);
+
 impl Execution {
     fn dispatch_site(
         &mut self,
@@ -76,10 +81,25 @@ impl Execution {
             j.exec_duration = ends_after;
             ctx.traces
                 .record(qj.job, now, TraceEvent::Dispatched { node });
-            ctx.queue.schedule_at(
-                now + ends_after,
-                GridEvent::Execution(ExecutionEvent::ExecutionEnds(qj.job)),
-            );
+            // Black-hole site (§6.2): the batch system "runs" the job but
+            // it will never finish — suppress the end event and let the
+            // hung-job watchdog reap it. Fate draws above still happened,
+            // so the RNG stream is identical with chaos disabled.
+            if !fabric.chaos.is_black_hole(site) {
+                ctx.queue.schedule_at(
+                    now + ends_after,
+                    GridEvent::Execution(ExecutionEvent::ExecutionEnds(qj.job)),
+                );
+            }
+            if fabric.cfg.chaos.is_some() {
+                // Wall-clock watchdog: if the job is somehow still Running
+                // past its requested walltime plus a grace period, reap it.
+                // Lazily cancelled — for healthy jobs the check no-ops.
+                ctx.queue.schedule_at(
+                    now + spec.requested_walltime + HUNG_JOB_GRACE,
+                    GridEvent::Execution(ExecutionEvent::HungJobCheck(qj.job)),
+                );
+            }
         }
     }
 
@@ -123,6 +143,32 @@ impl Execution {
             }
         }
     }
+
+    /// Hung-job watchdog: reap a job still `Running` past its walltime
+    /// grace window (a black-hole site swallowed it). No-ops for jobs
+    /// that finished, failed, or were killed in the meantime.
+    fn on_hung_job_check(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+        now: SimTime,
+        job: JobId,
+    ) {
+        let Some(j) = fabric.jobs.get(&job) else {
+            return; // already terminal
+        };
+        if j.phase != Phase::Running {
+            return; // finished or killed; the check is stale
+        }
+        let site = j.site;
+        fabric.sites[site.index()].release(job, now);
+        fabric.job_gauge.step(now, -1.0);
+        ctx.telemetry
+            .counter_add("chaos", "hung_job_reaped", format!("site{}", site.0), 1);
+        ctx.queue
+            .schedule_at(now, GridEvent::Execution(ExecutionEvent::TryDispatch(site)));
+        fabric.fail_active_job(ctx, now, job, FailureCause::WalltimeExceeded);
+    }
 }
 
 impl Subsystem for Execution {
@@ -140,6 +186,7 @@ impl Subsystem for Execution {
         match event {
             ExecutionEvent::TryDispatch(site) => self.dispatch_site(ctx, fabric, now, site),
             ExecutionEvent::ExecutionEnds(job) => self.on_execution_ends(ctx, fabric, now, job),
+            ExecutionEvent::HungJobCheck(job) => self.on_hung_job_check(ctx, fabric, now, job),
         }
     }
 }

@@ -18,6 +18,7 @@
 //! outcome (fault handling), campaign feedback (brokering) — in the
 //! monolith's original call order.
 
+use crate::chaos::ChaosState;
 use crate::resilience::ResilienceLayer;
 use crate::scenario::ScenarioConfig;
 use crate::topology::Topology;
@@ -146,6 +147,11 @@ pub struct GridFabric {
     pub gram_spans: FastMap<JobId, SpanId>,
     /// Open GridFTP transfer spans (start → complete/failure).
     pub transfer_spans: FastMap<TransferId, SpanId>,
+    /// Runtime chaos switches (black-hole sites, sensor blackouts,
+    /// iGOC partitions, pending emergency cleanups). All flags stay
+    /// `false` in baseline runs, so every guard reading them is
+    /// bit-neutral.
+    pub chaos: ChaosState,
 }
 
 impl GridFabric {
@@ -238,8 +244,13 @@ impl GridFabric {
     }
 
     /// Resolve a site's open tickets when an outage ends (failure-storm
-    /// tickets resolve through their own repair event instead).
+    /// tickets resolve through their own repair event instead). While
+    /// the site is partitioned from the iGOC, resolution is deferred —
+    /// the partition-heal event re-runs this.
     pub fn resolve_site_tickets(&mut self, site: SiteId, now: SimTime) {
+        if self.chaos.is_igoc_partitioned(site) {
+            return;
+        }
         let open: Vec<_> = self
             .center
             .tickets

@@ -49,12 +49,22 @@ impl FaultHandling {
                 // writes fail until cleanup. SRM reservations (the §8
                 // ablation) are immune: reserved space is not "free".
                 let fill = external_bytes.max(fabric.sites[site.index()].storage.free() * 0.98);
-                let taken = fabric.sites[site.index()].storage.consume_external(fill);
+                let consumed = fabric.sites[site.index()].storage.consume_external(fill);
                 ctx.queue.schedule_at(
                     now + cleanup_after,
-                    GridEvent::Fault(FaultEvent::DiskCleanup(site, taken)),
+                    GridEvent::Fault(FaultEvent::DiskCleanup(site, consumed.taken)),
                 );
                 fabric.center.tickets.open(site, TicketKind::DiskFull, now);
+                if !consumed.shortfall.is_zero() && fabric.cfg.chaos.is_some() {
+                    // The incident wanted more space than the disk had:
+                    // surface the shortfall as a quota-pressure ticket
+                    // instead of dropping it on the floor. Gated on the
+                    // chaos layer so baseline golden runs are untouched.
+                    fabric
+                        .center
+                        .tickets
+                        .open(site, TicketKind::DiskPressure, now);
+                }
                 if let Some(r) = &mut fabric.resilience {
                     r.suspend(site);
                 }
@@ -247,6 +257,9 @@ impl Subsystem for FaultHandling {
             }
             FaultEvent::DiskCleanup(site, bytes) => {
                 fabric.sites[site.index()].storage.reclaim_external(bytes);
+                if let Some(flag) = fabric.chaos.cleanup_pending.get_mut(site.index()) {
+                    *flag = false;
+                }
                 fabric.resolve_site_tickets(site, now);
                 if let Some(r) = &mut fabric.resilience {
                     r.reinstate(site, now);
@@ -257,6 +270,89 @@ impl Subsystem for FaultHandling {
             FaultEvent::SiteRepaired(site) => self.on_site_repaired(ctx, fabric, now, site),
             FaultEvent::JobOutcome(site, outcome) => {
                 self.on_job_outcome(ctx, fabric, now, site, outcome)
+            }
+            FaultEvent::ChaosBlackHole(site, duration) => {
+                // §6.2's black-hole site: the gatekeeper keeps accepting
+                // jobs and the batch system keeps "running" them, but
+                // nothing ever finishes. Dispatch stays open — the hole
+                // eats work until the hung-job watchdog notices.
+                if let Some(flag) = fabric.chaos.black_hole.get_mut(site.index()) {
+                    *flag = true;
+                }
+                ctx.telemetry
+                    .counter_add("chaos", "black_hole", format!("site{}", site.0), 1);
+                ctx.queue.schedule_at(
+                    now + duration,
+                    GridEvent::Fault(FaultEvent::ChaosBlackHoleEnd(site)),
+                );
+            }
+            FaultEvent::ChaosBlackHoleEnd(site) => {
+                if let Some(flag) = fabric.chaos.black_hole.get_mut(site.index()) {
+                    *flag = false;
+                }
+                // Jobs swallowed during the hole stay hung until their
+                // watchdog fires; new dispatches behave normally again.
+                ctx.queue
+                    .schedule_at(now, GridEvent::Execution(ExecutionEvent::TryDispatch(site)));
+            }
+            FaultEvent::ChaosRlsStale(site, duration) => {
+                fabric.rls.mark_stale(site);
+                ctx.telemetry
+                    .counter_add("chaos", "rls_stale", format!("site{}", site.0), 1);
+                ctx.queue.schedule_at(
+                    now + duration,
+                    GridEvent::Fault(FaultEvent::ChaosRlsHeal(site)),
+                );
+            }
+            FaultEvent::ChaosRlsHeal(site) => {
+                fabric.rls.heal_stale(site);
+            }
+            FaultEvent::ChaosMdsFreeze(site, duration) => {
+                fabric.center.mds.set_frozen(site, true);
+                ctx.telemetry
+                    .counter_add("chaos", "mds_freeze", format!("site{}", site.0), 1);
+                ctx.queue.schedule_at(
+                    now + duration,
+                    GridEvent::Fault(FaultEvent::ChaosMdsThaw(site)),
+                );
+            }
+            FaultEvent::ChaosMdsThaw(site) => {
+                fabric.center.mds.set_frozen(site, false);
+            }
+            FaultEvent::ChaosSensorBlackout(site, duration) => {
+                if let Some(flag) = fabric.chaos.sensor_blackout.get_mut(site.index()) {
+                    *flag = true;
+                }
+                ctx.telemetry
+                    .counter_add("chaos", "sensor_blackout", format!("site{}", site.0), 1);
+                ctx.queue.schedule_at(
+                    now + duration,
+                    GridEvent::Fault(FaultEvent::ChaosSensorRestore(site)),
+                );
+            }
+            FaultEvent::ChaosSensorRestore(site) => {
+                if let Some(flag) = fabric.chaos.sensor_blackout.get_mut(site.index()) {
+                    *flag = false;
+                }
+            }
+            FaultEvent::ChaosIgocPartition(site, duration) => {
+                if let Some(flag) = fabric.chaos.igoc_partition.get_mut(site.index()) {
+                    *flag = true;
+                }
+                ctx.telemetry
+                    .counter_add("chaos", "igoc_partition", format!("site{}", site.0), 1);
+                ctx.queue.schedule_at(
+                    now + duration,
+                    GridEvent::Fault(FaultEvent::ChaosIgocHeal(site)),
+                );
+            }
+            FaultEvent::ChaosIgocHeal(site) => {
+                if let Some(flag) = fabric.chaos.igoc_partition.get_mut(site.index()) {
+                    *flag = false;
+                }
+                // Ticket traffic queued behind the partition resolves now
+                // that the site can reach the operations center again.
+                fabric.resolve_site_tickets(site, now);
             }
         }
     }

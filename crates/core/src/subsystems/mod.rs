@@ -44,7 +44,7 @@ use grid3_simkit::engine::{EventLabel, EventQueue};
 use grid3_simkit::ids::{JobId, SiteId, TransferId};
 use grid3_simkit::rng::SimRng;
 use grid3_simkit::telemetry::Telemetry;
-use grid3_simkit::time::SimTime;
+use grid3_simkit::time::{SimDuration, SimTime};
 use grid3_simkit::units::Bytes;
 use grid3_site::failure::FailureEvent;
 use grid3_site::job::{JobOutcome, JobRecord};
@@ -104,6 +104,13 @@ pub enum StagingEvent {
     EntradaRound,
     /// A demo transfer finished.
     DemoTransferDone(TransferId),
+    /// Chaos: cut the oldest in-flight job transfer mid-stream. The
+    /// partial file is checksum-verified and resumed (`corrupt = false`)
+    /// or discarded and restarted from zero (`corrupt = true`).
+    ChaosTruncateTransfer {
+        /// Whether the partial file fails checksum verification.
+        corrupt: bool,
+    },
 }
 
 /// Events consumed by the execution subsystem.
@@ -113,6 +120,11 @@ pub enum ExecutionEvent {
     TryDispatch(SiteId),
     /// A job's execution reached its predetermined end.
     ExecutionEnds(JobId),
+    /// Wall-clock hung-job watchdog (scheduled for every dispatch when
+    /// chaos is enabled): if the job is *still* Running this long past
+    /// its requested walltime, it is hung on a black-hole site — kill it.
+    /// Lazily cancelled: fires as a stale no-op for jobs that finished.
+    HungJobCheck(JobId),
 }
 
 /// Events consumed by the fault-handling subsystem.
@@ -133,6 +145,34 @@ pub enum FaultEvent {
     /// Immediate: bucket a terminal outcome by site state and feed the
     /// resilience layer's health window.
     JobOutcome(SiteId, JobOutcome),
+    /// Chaos: the site turns into a black hole for the given duration —
+    /// it keeps accepting and dispatching jobs, but executions never
+    /// complete until the wall-clock watchdog reaps them.
+    ChaosBlackHole(SiteId, SimDuration),
+    /// Chaos: black-hole behaviour ends (already-hung jobs stay hung
+    /// until their watchdog fires).
+    ChaosBlackHoleEnd(SiteId),
+    /// Chaos: RLS answers for the site go stale for the given duration —
+    /// the catalog keeps advertising replicas whose data is gone.
+    ChaosRlsStale(SiteId, SimDuration),
+    /// Chaos: the site's RLS catalog is reconciled.
+    ChaosRlsHeal(SiteId),
+    /// Chaos: the site's GRIS freezes for the given duration; its MDS
+    /// record ages out past the TTL and brokering drops the site.
+    ChaosMdsFreeze(SiteId, SimDuration),
+    /// Chaos: the site's GRIS thaws; the next sweep republishes.
+    ChaosMdsThaw(SiteId),
+    /// Chaos: the site's monitoring sensors (agents + status probes) go
+    /// dark for the given duration.
+    ChaosSensorBlackout(SiteId, SimDuration),
+    /// Chaos: the site's monitoring sensors report again.
+    ChaosSensorRestore(SiteId),
+    /// Chaos: the site is partitioned from the iGOC for the given
+    /// duration — its open tickets cannot be resolved and probes cannot
+    /// reach it.
+    ChaosIgocPartition(SiteId, SimDuration),
+    /// Chaos: the partition heals; deferred ticket resolution runs.
+    ChaosIgocHeal(SiteId),
 }
 
 /// Events consumed by the reporting subsystem.
@@ -189,10 +229,12 @@ impl EventLabel for GridEvent {
                 StagingEvent::BeginStageOut(..) => "begin_stage_out",
                 StagingEvent::EntradaRound => "entrada_round",
                 StagingEvent::DemoTransferDone(..) => "demo_transfer_done",
+                StagingEvent::ChaosTruncateTransfer { .. } => "chaos_truncate_transfer",
             },
             GridEvent::Execution(e) => match e {
                 ExecutionEvent::TryDispatch(..) => "try_dispatch",
                 ExecutionEvent::ExecutionEnds(..) => "execution_ends",
+                ExecutionEvent::HungJobCheck(..) => "hung_job_check",
             },
             GridEvent::Fault(e) => match e {
                 FaultEvent::Incident(..) => "incident",
@@ -202,6 +244,16 @@ impl EventLabel for GridEvent {
                 FaultEvent::DiskCleanup(..) => "disk_cleanup",
                 FaultEvent::SiteRepaired(..) => "site_repaired",
                 FaultEvent::JobOutcome(..) => "job_outcome",
+                FaultEvent::ChaosBlackHole(..) => "chaos_black_hole",
+                FaultEvent::ChaosBlackHoleEnd(..) => "chaos_black_hole_end",
+                FaultEvent::ChaosRlsStale(..) => "chaos_rls_stale",
+                FaultEvent::ChaosRlsHeal(..) => "chaos_rls_heal",
+                FaultEvent::ChaosMdsFreeze(..) => "chaos_mds_freeze",
+                FaultEvent::ChaosMdsThaw(..) => "chaos_mds_thaw",
+                FaultEvent::ChaosSensorBlackout(..) => "chaos_sensor_blackout",
+                FaultEvent::ChaosSensorRestore(..) => "chaos_sensor_restore",
+                FaultEvent::ChaosIgocPartition(..) => "chaos_igoc_partition",
+                FaultEvent::ChaosIgocHeal(..) => "chaos_igoc_heal",
             },
             GridEvent::Reporting(e) => match e {
                 ReportingEvent::MonitorTick => "monitor_tick",

@@ -50,6 +50,13 @@ impl Reporting {
             }
             let record = GlueRecord::from_site(&fabric.sites[i], "VDT-1.1.8", now);
             fabric.center.mds.publish(record);
+            // A sensor blackout (chaos fault) silences the site's
+            // Ganglia/MonALISA agents; the GRIS keeps publishing — the
+            // information system and the monitoring fabric fail
+            // independently (§4.7).
+            if fabric.chaos.is_sensor_blackout(fabric.sites[i].id) {
+                continue;
+            }
             let ganglia = GangliaAgent::new(fabric.sites[i].id);
             let events = ganglia.sample(&fabric.sites[i], now);
             for ev in &events {
@@ -62,11 +69,17 @@ impl Reporting {
                 fabric.center.monalisa.ingest(ev);
             }
         }
-        // Status-probe escalation to tickets.
+        // Status-probe escalation to tickets. Sites cut off from the IGOC
+        // (chaos partition) cannot be probed; sites in sensor blackout
+        // answer nothing either.
         let online: Vec<&Site> = fabric
             .sites
             .iter()
-            .filter(|s| fabric.topo.is_online(s.id, now))
+            .filter(|s| {
+                fabric.topo.is_online(s.id, now)
+                    && !fabric.chaos.is_igoc_partitioned(s.id)
+                    && !fabric.chaos.is_sensor_blackout(s.id)
+            })
             .collect();
         fabric.center.probe_round(online, now);
         // Ship accumulated NetLogger events with each sweep, mirroring the

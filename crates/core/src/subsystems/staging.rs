@@ -19,6 +19,11 @@ use super::{
     EngineCtx, ExecutionEvent, GridEvent, GridFabric, ReportingEvent, StagingEvent, Subsystem,
 };
 
+/// How long after a disk-full stage-in bounce the chaos cleanup sweep
+/// reclaims external data (the simulated operator's reaction time).
+const CLEANUP_SWEEP_DELAY: grid3_simkit::time::SimDuration =
+    grid3_simkit::time::SimDuration::from_mins(30);
+
 /// The staging subsystem (see the module docs).
 pub struct Staging {
     /// Grid-wide logical-file-name allocator.
@@ -97,6 +102,9 @@ impl Staging {
                 .is_ok(),
         };
         if !stored {
+            if fabric.cfg.chaos.is_some() {
+                self.on_disk_full_stage_in(ctx, fabric, now, site);
+            }
             fabric.fail_active_job(ctx, now, job, FailureCause::DiskFull);
             return;
         }
@@ -219,6 +227,124 @@ impl Staging {
         }
     }
 
+    /// Stage-in write bounced off a full disk (chaos runs only): open a
+    /// disk-pressure ticket and, when external (non-grid) data is what
+    /// filled the SE, schedule one cleanup sweep to reclaim it — the §6.2
+    /// "remove the offending files" recovery, as a policy instead of an
+    /// operator.
+    fn on_disk_full_stage_in(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+        now: SimTime,
+        site: grid3_simkit::ids::SiteId,
+    ) {
+        fabric
+            .center
+            .tickets
+            .open(site, grid3_igoc::tickets::TicketKind::DiskPressure, now);
+        let external = fabric.sites[site.index()].storage.external_bytes();
+        let pending = fabric
+            .chaos
+            .cleanup_pending
+            .get(site.index())
+            .copied()
+            .unwrap_or(false);
+        if !external.is_zero() && !pending {
+            if let Some(flag) = fabric.chaos.cleanup_pending.get_mut(site.index()) {
+                *flag = true;
+            }
+            ctx.telemetry
+                .counter_add("chaos", "cleanup_scheduled", format!("site{}", site.0), 1);
+            ctx.queue.schedule_at(
+                now + CLEANUP_SWEEP_DELAY,
+                GridEvent::Fault(super::FaultEvent::DiskCleanup(site, external)),
+            );
+        }
+    }
+
+    /// Chaos fault: cut the oldest in-flight job transfer mid-wire, then
+    /// start a resume transfer for the remainder — or, when the partial
+    /// file fails its checksum (`corrupt`), for the whole payload again.
+    fn on_chaos_truncate(
+        &mut self,
+        ctx: &mut EngineCtx,
+        fabric: &mut GridFabric,
+        now: SimTime,
+        corrupt: bool,
+    ) {
+        // Oldest live job transfer (min id); the demo matrix is exempt —
+        // its transfers carry no job to resume for.
+        let Some((&xfer, &purpose)) = fabric
+            .transfer_purpose
+            .iter()
+            .filter(|(_, p)| !matches!(p, TransferPurpose::Demo))
+            .min_by_key(|(id, _)| **id)
+        else {
+            return; // nothing in flight; the fault fizzles
+        };
+        let Ok(cut) = fabric.gridftp.truncate(xfer, now) else {
+            return;
+        };
+        fabric.transfer_purpose.remove(&xfer);
+        fabric.close_transfer_span(ctx, now, xfer, true);
+        let job = match purpose {
+            TransferPurpose::JobStageIn(job) | TransferPurpose::JobStageOut(job) => job,
+            TransferPurpose::Demo => unreachable!("filtered above"),
+        };
+        // The partial still moved real bytes over real links: credit it,
+        // unless the checksum said the fragment is garbage.
+        if !corrupt && !cut.outcome.delivered.is_zero() {
+            ctx.emit(GridEvent::Reporting(ReportingEvent::CreditTransfer(
+                cut.outcome.request.vo,
+                cut.outcome.delivered,
+            )));
+            if let Some(j) = fabric.jobs.get_mut(&job) {
+                j.transferred += cut.outcome.delivered;
+            }
+        }
+        ctx.telemetry.counter_add(
+            "chaos",
+            if corrupt {
+                "truncated_corrupt"
+            } else {
+                "truncated_resumed"
+            },
+            "",
+            1,
+        );
+        // Checksum-verified resume: re-request the remainder (or the full
+        // payload when the fragment failed verification).
+        let mut request = cut.outcome.request;
+        request.bytes = if corrupt {
+            request.bytes
+        } else {
+            cut.remaining
+        };
+        let (label, done, cause): (_, fn(JobId, TransferId) -> StagingEvent, _) = match purpose {
+            TransferPurpose::JobStageIn(_) => (
+                "stage_in_resume",
+                StagingEvent::StageInDone,
+                FailureCause::StageInFailure,
+            ),
+            TransferPurpose::JobStageOut(_) => (
+                "stage_out_resume",
+                StagingEvent::StageOutDone,
+                FailureCause::StageOutFailure,
+            ),
+            TransferPurpose::Demo => unreachable!("filtered above"),
+        };
+        match fabric.gridftp.start(request, now) {
+            Ok((resumed, finish)) => {
+                fabric.transfer_purpose.insert(resumed, purpose);
+                fabric.open_transfer_span(ctx, now, resumed, label, Some(u64::from(job.0)));
+                ctx.queue
+                    .schedule_at(finish, GridEvent::Staging(done(job, resumed)));
+            }
+            Err(_) => fabric.fail_active_job(ctx, now, job, cause),
+        }
+    }
+
     fn on_entrada_round(&mut self, ctx: &mut EngineCtx, fabric: &mut GridFabric, now: SimTime) {
         let Some(demo) = self.demo.clone() else {
             return;
@@ -283,6 +409,9 @@ impl Subsystem for Staging {
                 self.on_stage_out_done(ctx, fabric, now, job, xfer)
             }
             StagingEvent::BeginStageOut(job) => self.begin_stage_out(ctx, fabric, now, job),
+            StagingEvent::ChaosTruncateTransfer { corrupt } => {
+                self.on_chaos_truncate(ctx, fabric, now, corrupt)
+            }
             StagingEvent::EntradaRound => self.on_entrada_round(ctx, fabric, now),
             StagingEvent::DemoTransferDone(xfer) => {
                 self.on_demo_transfer_done(ctx, fabric, now, xfer)

@@ -16,6 +16,11 @@ use serde::{Deserialize, Serialize};
 pub enum TicketKind {
     /// Storage element / scratch disk filled.
     DiskFull,
+    /// Scratch disk under pressure: external demand exceeded the free
+    /// space (a shortfall was recorded) or stage-ins are failing on a
+    /// full disk. Lighter than [`TicketKind::DiskFull`] — the iGOC share
+    /// is a quota warning and a cleanup nudge to the site admins.
+    DiskPressure,
     /// Gatekeeper or other grid service down.
     ServiceDown,
     /// WAN connectivity loss.
@@ -41,6 +46,7 @@ impl TicketKind {
     pub fn effort_hours(self) -> f64 {
         match self {
             TicketKind::DiskFull => 0.75,
+            TicketKind::DiskPressure => 0.25,
             TicketKind::ServiceDown => 1.0,
             TicketKind::NetworkOutage => 0.5,
             TicketKind::Misconfiguration => 4.0,

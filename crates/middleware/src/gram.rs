@@ -287,9 +287,21 @@ impl RetryPolicy {
 
     /// The backoff delay before retry number `attempt` (0-based) of the
     /// entity identified by `key` (typically the job id).
+    ///
+    /// Saturates rather than overflowing: the exponent is clamped before
+    /// `powi`, a non-finite product (overflow to `inf`, or `NaN` from a
+    /// degenerate `base`/`multiplier` pair such as `0 × inf`) collapses
+    /// to `max_delay`, and the finite result is clamped into
+    /// `[0, max_delay]` — so even `attempt == u32::MAX` yields a delay
+    /// in `[1 s, max_delay × (1 + jitter/2)]`.
     pub fn delay(&self, attempt: u32, key: u64) -> SimDuration {
-        let nominal = self.base.as_secs_f64() * self.multiplier.powi(attempt.min(62) as i32);
-        let nominal = nominal.min(self.max_delay.as_secs_f64());
+        let cap = self.max_delay.as_secs_f64();
+        let raw = self.base.as_secs_f64() * self.multiplier.powi(attempt.min(62) as i32);
+        let nominal = if raw.is_finite() {
+            raw.clamp(0.0, cap)
+        } else {
+            cap
+        };
         // splitmix64 over (key, attempt): cheap, stateless, and stable
         // across runs — no SimRng stream is consumed.
         let mut h = key
@@ -462,6 +474,51 @@ mod tests {
         let p = RetryPolicy::grid3_default();
         assert!(p.allows(0) && p.allows(4));
         assert!(!p.allows(5));
+    }
+
+    #[test]
+    fn retry_delay_saturates_at_extreme_attempt_counts() {
+        let p = RetryPolicy::grid3_default();
+        let ceiling = p.max_delay.as_secs_f64() * (1.0 + p.jitter / 2.0);
+        for attempt in [62, 63, 1_000_000, u32::MAX - 1, u32::MAX] {
+            for key in [0u64, 7, u64::MAX] {
+                let d = p.delay(attempt, key).as_secs_f64();
+                assert!(d.is_finite(), "attempt {attempt}: non-finite delay");
+                assert!(
+                    (1.0..=ceiling + 1e-6).contains(&d),
+                    "attempt {attempt}: delay {d} outside [1, {ceiling}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retry_delay_saturates_on_degenerate_policies() {
+        // A multiplier that overflows to infinity in a handful of steps
+        // must collapse to the cap, not poison the schedule.
+        let hot = RetryPolicy {
+            max_retries: u32::MAX,
+            base: SimDuration::from_secs(1),
+            multiplier: f64::MAX,
+            max_delay: SimDuration::from_hours(1),
+            jitter: 0.0,
+        };
+        for attempt in [0, 1, 2, 62, u32::MAX] {
+            let d = hot.delay(attempt, 3);
+            assert!(d <= SimDuration::from_hours(1) + SimDuration::from_secs(1));
+            assert!(d >= SimDuration::from_secs(1));
+        }
+        // 0 × inf = NaN nominal: saturate to the cap instead of a NaN
+        // duration reaching SimDuration::from_secs_f64.
+        let nan = RetryPolicy {
+            max_retries: 1,
+            base: SimDuration::ZERO,
+            multiplier: f64::INFINITY,
+            max_delay: SimDuration::from_mins(30),
+            jitter: 0.0,
+        };
+        assert_eq!(nan.delay(1, 0), SimDuration::from_mins(30));
+        assert!(nan.allows(0) && !nan.allows(u32::MAX));
     }
 
     #[test]

@@ -58,6 +58,22 @@ pub enum TransferError {
     ),
     /// Unknown transfer id.
     UnknownTransfer,
+    /// The stream was cut mid-transfer, leaving a partial file at the
+    /// destination (fault-injection path; the partial may be resumed
+    /// after checksum verification).
+    Truncated,
+}
+
+/// Result of truncating an in-flight transfer: the failed outcome (with
+/// partial `delivered` bytes) plus the bytes that never made it, from
+/// which the caller can issue a checksum-verified resume transfer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TruncatedTransfer {
+    /// The terminal outcome of the cut transfer (`error == Truncated`,
+    /// `delivered` = bytes that landed before the cut).
+    pub outcome: TransferOutcome,
+    /// Bytes still owed: `request.bytes - delivered`.
+    pub remaining: Bytes,
 }
 
 /// Terminal result of a transfer.
@@ -314,6 +330,45 @@ impl GridFtp {
         out
     }
 
+    /// Cut one in-flight transfer mid-stream (fault injection), leaving
+    /// a partial file at the destination. Bytes delivered before the cut
+    /// are estimated from elapsed time × rate, exactly like
+    /// [`GridFtp::fail_site`]; the returned [`TruncatedTransfer`] tells
+    /// the caller how many bytes a resume transfer still owes.
+    pub fn truncate(
+        &mut self,
+        id: TransferId,
+        now: SimTime,
+    ) -> Result<TruncatedTransfer, TransferError> {
+        let t = self
+            .active
+            .remove(&id)
+            .ok_or(TransferError::UnknownTransfer)?;
+        self.release_streams(&t.request);
+        let elapsed = now.since(t.started).as_secs_f64();
+        let partial = Bytes::new(
+            ((t.rate.as_bytes_per_sec() * elapsed) as u64).min(t.request.bytes.as_u64()),
+        );
+        let error = TransferError::Truncated;
+        self.tele
+            .counter_add("gridftp", "truncated", vo_label(t.request.vo), 1);
+        if self.log_enabled {
+            self.log.push(NetLogEvent::Error { id, at: now, error });
+        }
+        let remaining = t.request.bytes.saturating_sub(partial);
+        Ok(TruncatedTransfer {
+            outcome: TransferOutcome {
+                id,
+                delivered: partial,
+                request: t.request,
+                started: t.started,
+                finished: now,
+                error: Some(error),
+            },
+            remaining,
+        })
+    }
+
     /// The captured NetLogger event stream.
     pub fn log(&self) -> &[NetLogEvent] {
         &self.log
@@ -419,6 +474,38 @@ mod tests {
             g.complete(id, finish).unwrap_err(),
             TransferError::UnknownTransfer
         );
+    }
+
+    #[test]
+    fn truncation_reports_partial_and_remaining() {
+        let mut g = fabric();
+        let (id, finish) = g.start(req(0, 1, 2), SimTime::EPOCH).unwrap();
+        // Cut the stream halfway through its life.
+        let cut_at = SimTime::from_secs(80);
+        assert!(cut_at < finish);
+        let t = g.truncate(id, cut_at).unwrap();
+        assert_eq!(t.outcome.error, Some(TransferError::Truncated));
+        assert!(t.outcome.delivered > Bytes::ZERO);
+        assert!(t.outcome.delivered < Bytes::from_gb(2));
+        assert_eq!(
+            t.outcome.delivered + t.remaining,
+            Bytes::from_gb(2),
+            "partial + remaining must equal the payload"
+        );
+        // Streams released; the id is gone.
+        assert_eq!(g.active_count(), 0);
+        assert_eq!(g.streams_at(SiteId(0)), 0);
+        assert_eq!(g.streams_at(SiteId(1)), 0);
+        assert_eq!(
+            g.truncate(id, cut_at).unwrap_err(),
+            TransferError::UnknownTransfer
+        );
+        // A resume transfer for the remainder can start immediately.
+        let resume = TransferRequest {
+            bytes: t.remaining,
+            ..t.outcome.request
+        };
+        assert!(g.start(resume, cut_at).is_ok());
     }
 
     #[test]

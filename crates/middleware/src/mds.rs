@@ -157,6 +157,10 @@ pub struct MdsDirectory {
     /// content (publish, TTL change).
     epoch: u64,
     ttl: SimDuration,
+    /// Dense by `site.index()`; `true` = the site's GRIS is frozen
+    /// (fault injection): publishes for it are dropped, so its last
+    /// record ages out past the TTL like a genuinely wedged GRIS.
+    frozen: Vec<bool>,
     tele: Telemetry,
 }
 
@@ -172,6 +176,7 @@ impl MdsDirectory {
             live: 0,
             epoch: 0,
             ttl,
+            frozen: Vec::new(),
             tele: Telemetry::disabled(),
         }
     }
@@ -186,8 +191,13 @@ impl MdsDirectory {
         Self::new(Self::DEFAULT_TTL)
     }
 
-    /// Publish (upsert) a site's record.
+    /// Publish (upsert) a site's record. Publishes for a frozen site are
+    /// silently dropped (the wedged-GRIS fault mode): its last record
+    /// stays in place and ages toward staleness.
     pub fn publish(&mut self, record: GlueRecord) {
+        if self.is_frozen(record.site) {
+            return;
+        }
         self.tele
             .counter_add("mds", "published", format!("site{}", record.site.0), 1);
         let idx = record.site.index();
@@ -205,6 +215,25 @@ impl MdsDirectory {
     pub fn set_ttl(&mut self, ttl: SimDuration) {
         self.ttl = ttl;
         self.epoch += 1;
+    }
+
+    /// Freeze or thaw a site's GRIS (fault injection). While frozen, its
+    /// publishes are dropped; on thaw, the next publish refreshes the
+    /// record as usual.
+    pub fn set_frozen(&mut self, site: SiteId, frozen: bool) {
+        let idx = site.index();
+        if idx >= self.frozen.len() {
+            if !frozen {
+                return;
+            }
+            self.frozen.resize(idx + 1, false);
+        }
+        self.frozen[idx] = frozen;
+    }
+
+    /// Whether a site's GRIS is currently frozen.
+    pub fn is_frozen(&self, site: SiteId) -> bool {
+        self.frozen.get(site.index()).copied().unwrap_or(false)
     }
 
     /// Monotonic change counter: bumped on every publish (and TTL
@@ -314,6 +343,36 @@ mod tests {
         assert_eq!(g.sites(), &[SiteId(1), SiteId(2)]);
         g.deregister(SiteId(1));
         assert_eq!(g.sites(), &[SiteId(2)]);
+    }
+
+    #[test]
+    fn frozen_gris_drops_publishes_until_thawed() {
+        let mut dir = MdsDirectory::new(SimDuration::from_mins(10));
+        let site = mk_site(0, "A");
+        dir.publish(GlueRecord::from_site(&site, "VDT-1.1.8", SimTime::EPOCH));
+        dir.set_frozen(SiteId(0), true);
+        assert!(dir.is_frozen(SiteId(0)));
+        let epoch = dir.epoch();
+        // Publishes are dropped: the record keeps its EPOCH timestamp and
+        // ages out past the TTL exactly like a wedged GRIS.
+        dir.publish(GlueRecord::from_site(
+            &site,
+            "VDT-1.1.8",
+            SimTime::from_mins(8),
+        ));
+        assert_eq!(dir.epoch(), epoch);
+        assert!(!dir.is_fresh(SiteId(0), SimTime::from_mins(11)));
+        // Thaw: the next publish refreshes as usual.
+        dir.set_frozen(SiteId(0), false);
+        dir.publish(GlueRecord::from_site(
+            &site,
+            "VDT-1.1.8",
+            SimTime::from_mins(12),
+        ));
+        assert!(dir.is_fresh(SiteId(0), SimTime::from_mins(13)));
+        // Freezing an unknown site is harmless either way.
+        dir.set_frozen(SiteId(9), false);
+        assert!(!dir.is_frozen(SiteId(9)));
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub struct ReplicaLocationService {
     /// lfn → size attribute (RLS metadata; planners budget transfers
     /// with it).
     sizes: HashMap<FileId, Bytes>,
+    /// Sites whose catalog answers have gone stale: the LRC/RLI still
+    /// advertise their replicas, but the data is unreadable. Fault
+    /// injection sets this; consumers must check [`Self::is_stale`]
+    /// before trusting an answer (which is exactly the failure mode —
+    /// most don't).
+    stale: BTreeSet<SiteId>,
     tele: Telemetry,
 }
 
@@ -134,6 +140,32 @@ impl ReplicaLocationService {
         self.lrcs.values().map(|l| l.len()).sum()
     }
 
+    /// Mark a site's catalog answers stale (fault injection): `locate`
+    /// and `pfn` keep returning its replicas, but transfers sourced from
+    /// them will fail until [`Self::heal_stale`] runs — the classic
+    /// "catalog says the data is there, the disk says otherwise" §6
+    /// failure.
+    pub fn mark_stale(&mut self, site: SiteId) {
+        self.tele
+            .counter_add("rls", "stale_marked", format!("site{}", site.0), 1);
+        self.stale.insert(site);
+    }
+
+    /// Clear a site's staleness after the catalog is reconciled.
+    pub fn heal_stale(&mut self, site: SiteId) {
+        self.stale.remove(&site);
+    }
+
+    /// Whether a site's catalog answers are currently stale.
+    pub fn is_stale(&self, site: SiteId) -> bool {
+        self.stale.contains(&site)
+    }
+
+    /// Number of sites currently serving stale answers.
+    pub fn stale_count(&self) -> usize {
+        self.stale.len()
+    }
+
     /// Drop every replica registered at a site (site storage lost). The
     /// RLI is updated; LFNs whose last replica vanished become unknown.
     pub fn drop_site(&mut self, site: SiteId) -> usize {
@@ -204,6 +236,21 @@ mod tests {
         rls.register(FileId(1), SiteId(0), Bytes::from_gb(1));
         assert_eq!(rls.replica_count(), 1);
         assert_eq!(rls.replicas_at(SiteId(0)), 1);
+    }
+
+    #[test]
+    fn stale_sites_keep_answering_until_healed() {
+        let mut rls = ReplicaLocationService::new();
+        rls.register(FileId(1), SiteId(0), Bytes::from_gb(1));
+        rls.mark_stale(SiteId(0));
+        // The stale catalog still answers — that is the failure mode.
+        assert!(rls.is_stale(SiteId(0)));
+        assert_eq!(rls.stale_count(), 1);
+        assert_eq!(rls.locate(FileId(1)).unwrap(), vec![SiteId(0)]);
+        assert!(rls.pfn(FileId(1), SiteId(0)).is_ok());
+        rls.heal_stale(SiteId(0));
+        assert!(!rls.is_stale(SiteId(0)));
+        assert_eq!(rls.stale_count(), 0);
     }
 
     #[test]

@@ -33,6 +33,16 @@ pub enum StorageError {
     BadReservation,
 }
 
+/// Result of an external (non-grid) disk consumption event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExternalConsumption {
+    /// Bytes actually consumed (clamped to the free space).
+    pub taken: Bytes,
+    /// Demand that could not be satisfied because the disk filled; a
+    /// non-zero shortfall means the element is under continued pressure.
+    pub shortfall: Bytes,
+}
+
 /// Handle to an SRM-style space reservation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ReservationId(u64);
@@ -178,13 +188,31 @@ impl StorageElement {
         Ok(())
     }
 
+    /// Space claimed by live SRM reservations.
+    pub fn reserved(&self) -> Bytes {
+        self.reserved
+    }
+
+    /// Non-file ("external") bytes currently occupying the element —
+    /// the reclaimable share of `used()` after a disk-full incident.
+    pub fn external_bytes(&self) -> Bytes {
+        let file_bytes: Bytes = self.files.values().copied().sum();
+        self.stored.saturating_sub(file_bytes)
+    }
+
     /// Simulate the §6 disk-full incident: opaque non-grid data (local
-    /// users, logs) consumes `size` of free space. Returns how much was
-    /// actually consumed (clamped to free space).
-    pub fn consume_external(&mut self, size: Bytes) -> Bytes {
+    /// users, logs) consumes `size` of free space. The consumption is
+    /// clamped to the free space; the unmet remainder is reported as
+    /// `shortfall` so callers can account for the pressure instead of
+    /// silently dropping it.
+    #[must_use]
+    pub fn consume_external(&mut self, size: Bytes) -> ExternalConsumption {
         let taken = size.min(self.free());
         self.stored += taken;
-        taken
+        ExternalConsumption {
+            taken,
+            shortfall: size.saturating_sub(taken),
+        }
     }
 
     /// Administrators clear `size` bytes of non-file data (cleanup after a
@@ -277,14 +305,26 @@ mod tests {
     fn external_consumption_models_disk_full_incident() {
         let mut se = StorageElement::new(Bytes::from_gb(10));
         se.store(FileId(1), Bytes::from_gb(2)).unwrap();
-        let taken = se.consume_external(Bytes::from_gb(100));
-        assert_eq!(taken, Bytes::from_gb(8));
+        let outcome = se.consume_external(Bytes::from_gb(100));
+        assert_eq!(outcome.taken, Bytes::from_gb(8));
+        assert_eq!(outcome.shortfall, Bytes::from_gb(92));
         assert_eq!(se.free(), Bytes::ZERO);
+        assert_eq!(se.external_bytes(), Bytes::from_gb(8));
         assert!(se.store(FileId(2), Bytes::new(1)).is_err());
         // Cleanup reclaims only the external bytes, never file data.
         se.reclaim_external(Bytes::from_gb(100));
         assert_eq!(se.used(), Bytes::from_gb(2));
+        assert_eq!(se.external_bytes(), Bytes::ZERO);
         assert!(se.contains(FileId(1)));
+    }
+
+    #[test]
+    fn external_consumption_reports_zero_shortfall_when_it_fits() {
+        let mut se = StorageElement::new(Bytes::from_gb(10));
+        let outcome = se.consume_external(Bytes::from_gb(4));
+        assert_eq!(outcome.taken, Bytes::from_gb(4));
+        assert_eq!(outcome.shortfall, Bytes::ZERO);
+        assert_eq!(se.reserved(), Bytes::ZERO);
     }
 
     #[test]

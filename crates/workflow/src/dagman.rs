@@ -185,6 +185,34 @@ impl<T> DagManager<T> {
         }
     }
 
+    /// Generate and load a *rescue DAG*: every permanently-failed node
+    /// is re-armed as Ready with a fresh retry budget of `retries`, and
+    /// the DAG leaves the `Failed` state. This mirrors DAGMan's rescue
+    /// file workflow — completed nodes keep their results, only the
+    /// failed frontier (and the subgraph still waiting on it) reruns.
+    /// Returns the number of nodes re-armed (0 means nothing had failed).
+    pub fn rescue(&mut self, retries: u32) -> usize {
+        let mut rearmed = 0;
+        for i in 0..self.states.len() {
+            if self.states[i] == NodeState::Failed {
+                self.states[i] = NodeState::Ready;
+                self.retries_left[i] = retries;
+                rearmed += 1;
+            }
+        }
+        self.failed -= rearmed;
+        if rearmed > 0 {
+            self.tele
+                .counter_add("dagman", "rescued", "", rearmed as u64);
+        }
+        rearmed
+    }
+
+    /// Permanently-failed node count.
+    pub fn failed_count(&self) -> usize {
+        self.failed
+    }
+
     /// Overall DAG state.
     pub fn dag_state(&self) -> DagState {
         if self.failed > 0 {
@@ -344,6 +372,36 @@ mod tests {
         let order = run_to_completion(&mut mgr);
         assert_eq!(mgr.dag_state(), DagState::Completed);
         assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn rescue_rearms_failed_frontier_and_dag_completes() {
+        // Fail the root of a diamond permanently, then rescue: only the
+        // failed frontier reruns and the whole DAG completes.
+        let mut mgr = DagManager::new(diamond(), 0, 0);
+        mgr.mark_submitted(NodeId(0));
+        assert_eq!(mgr.mark_failed(NodeId(0)), FailureAction::Permanent);
+        assert_eq!(mgr.dag_state(), DagState::Failed);
+        assert_eq!(mgr.failed_count(), 1);
+        assert!(!mgr.has_ready_work(), "failed DAGs release nothing");
+
+        let rearmed = mgr.rescue(2);
+        assert_eq!(rearmed, 1);
+        assert_eq!(mgr.failed_count(), 0);
+        assert_eq!(mgr.dag_state(), DagState::Running);
+        assert_eq!(mgr.state(NodeId(0)), NodeState::Ready);
+
+        // The re-armed node carries the fresh retry budget.
+        mgr.mark_submitted(NodeId(0));
+        assert_eq!(
+            mgr.mark_failed(NodeId(0)),
+            FailureAction::Retry { remaining: 1 }
+        );
+        let order = run_to_completion(&mut mgr);
+        assert_eq!(mgr.dag_state(), DagState::Completed);
+        assert_eq!(order.len(), 4);
+        // Rescuing a healthy DAG is a no-op.
+        assert_eq!(mgr.rescue(5), 0);
     }
 
     #[test]

@@ -18,6 +18,7 @@ fn campaign(events: u64, retries: u32) -> CampaignSpec {
         submit_day: 1,
         retries,
         throttle: 16,
+        rescue_dags: 0,
     }
 }
 

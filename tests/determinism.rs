@@ -27,7 +27,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// Golden hashes recorded from the pre-refactor monolithic engine at
 /// 2 % workload scale over the full 30-day windows (demo included).
-const GOLDEN: [(&str, u64, u64); 7] = [
+const GOLDEN: [(&str, u64, u64); 8] = [
     ("sc2003", 2003, 0x9a81fc63ba6ab37f),
     ("sc2003_operated", 2003, 0x4890551a29889f49),
     ("sc2003", 7, 0x26e1d0268b73dbe9),
@@ -37,12 +37,17 @@ const GOLDEN: [(&str, u64, u64); 7] = [
     // Recorded with the heap-backed engine immediately before the ladder
     // queue became the default: the queue swap must not move a byte.
     ("sc2003_operated", 1234, 0x55138bc19796295f),
+    // The chaos scenario (sampled fault plan + auditor on), recorded when
+    // the chaos layer landed: seeded fault replay must stay bit-identical
+    // (identical in debug and release builds).
+    ("sc2003_chaos", 2003, 0x428edf429c32422b),
 ];
 
 fn config(scenario: &str, seed: u64) -> ScenarioConfig {
     let base = match scenario {
         "sc2003" => ScenarioConfig::sc2003(),
         "sc2003_operated" => ScenarioConfig::sc2003_operated(),
+        "sc2003_chaos" => ScenarioConfig::sc2003_chaos(),
         other => panic!("unknown scenario {other}"),
     };
     base.with_scale(0.02).with_seed(seed)
@@ -87,6 +92,19 @@ fn determinism_heap_and_ladder_backends_agree() {
         fnv1a64(ladder.as_bytes()),
         fnv1a64(heap.as_bytes()),
         "queue backends diverged"
+    );
+}
+
+#[test]
+fn determinism_auditor_is_bit_neutral() {
+    // The invariant auditor is observation-only: enabling it on the
+    // baseline scenario must reproduce the baseline golden hash exactly —
+    // no RNG draws, no queue events, no report fields.
+    let json = config("sc2003", 2003).with_audit(true).run().to_json();
+    assert_eq!(
+        fnv1a64(json.as_bytes()),
+        GOLDEN[0].2,
+        "auditor perturbed the run"
     );
 }
 

@@ -28,6 +28,7 @@ fn run_one_day() -> Simulation {
             submit_day: 0,
             retries: 3,
             throttle: 9,
+            rescue_dags: 0,
         });
     let mut sim = Simulation::new(cfg);
     sim.run();
