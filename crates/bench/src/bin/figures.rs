@@ -276,6 +276,147 @@ fn main() {
         println!("  wrote results/telemetry.json and results/trace_sc2003.json\n");
     }
 
+    if want("heat") {
+        println!("Heat — ranked cost attribution (scale_out grid, 10× sites, profiler on)");
+        eprintln!("[figures] running profiled scale_out scenario at full depth…");
+        let artifacts = ScenarioConfig::scale_out()
+            .with_seed(SEED)
+            .with_profile(true)
+            .run_full();
+        let profile = artifacts.profile.expect("profiling was enabled");
+        println!(
+            "  {} events attributed across {} cost centers, {:.1} ms handler self time",
+            profile.total_events(),
+            profile.rows().len(),
+            profile.total_ns() as f64 / 1e6
+        );
+        println!(
+            "  {:<10} {:<18} {:>9} {:>9} {:>8} {:>10} {:>9} {:>7}",
+            "subsystem", "event", "events", "ns/event", "fan-out", "allocs/ev", "bytes/ev", "share"
+        );
+        let rows = profile.rows();
+        for row in rows.iter().take(12) {
+            println!(
+                "  {:<10} {:<18} {:>9} {:>9.0} {:>8.2} {:>10.2} {:>9.0} {:>6.1}%",
+                row.center.subsystem,
+                row.center.event,
+                row.events,
+                row.ns_per_event,
+                row.fanout_per_event,
+                row.allocs_per_event,
+                row.bytes_per_event,
+                row.share_pct
+            );
+        }
+        let top: Vec<String> = rows
+            .iter()
+            .take(3)
+            .map(|r| format!("{}/{}", r.center.subsystem, r.center.event))
+            .collect();
+        println!("  top-3 cost centers by ns/event: {}", top.join(", "));
+        if rows.iter().all(|r| r.allocs_per_event == 0.0) {
+            println!("  (allocs/bytes are 0: rebuild with --features grid3-simkit/count-allocs)");
+        }
+        std::fs::write("results/heat.json", profile.to_json()).ok();
+        println!("  wrote results/heat.json\n");
+    }
+
+    if want("ops") {
+        use grid3_core::ops::OpsEventKind;
+        println!("Ops — operational narrative of the operated SC2003 window");
+        eprintln!("[figures] running journaled sc2003_operated scenario at full scale…");
+        let artifacts = ScenarioConfig::sc2003_operated()
+            .with_seed(SEED)
+            .with_ops_journal(true)
+            .run_full();
+        let records = artifacts.ops.records();
+        let topo = grid3_core::topology::grid3_topology();
+        let site_name = |site: Option<grid3_simkit::ids::SiteId>| -> String {
+            match site {
+                Some(s) => topo
+                    .specs
+                    .get(s.0 as usize)
+                    .map(|spec| spec.name.clone())
+                    .unwrap_or_else(|| s.to_string()),
+                None => "(grid-wide)".to_string(),
+            }
+        };
+        let kind_label = |k: &OpsEventKind| -> String {
+            match k {
+                OpsEventKind::FaultInjected { kind } => format!("fault {kind}"),
+                OpsEventKind::TicketOpened { ticket, kind } => {
+                    format!("ticket {ticket} opened ({kind})")
+                }
+                OpsEventKind::TicketResolved { ticket } => format!("ticket {ticket} resolved"),
+                OpsEventKind::SiteSuspended => "suspended from brokering".to_string(),
+                OpsEventKind::SiteReinstated => "reinstated".to_string(),
+                OpsEventKind::SiteRepaired => "repaired (re-validated)".to_string(),
+                OpsEventKind::StormDetected { ticket } => {
+                    format!("failure storm detected (ticket {ticket})")
+                }
+                OpsEventKind::RescueDag { campaign, rearmed } => {
+                    format!("rescue DAG on campaign {campaign} re-armed {rearmed} nodes")
+                }
+                OpsEventKind::WatchdogReap { job } => format!("watchdog reaped {job}"),
+            }
+        };
+
+        // Per-site state timeline: every suspension/reinstate/repair, in
+        // site-id order, compressed to one line per site.
+        println!("  per-site state timeline (suspensions ⇄ reinstatements):");
+        let mut by_site: std::collections::BTreeMap<u32, Vec<String>> =
+            std::collections::BTreeMap::new();
+        for r in &records {
+            let transition = match &r.kind {
+                OpsEventKind::SiteSuspended => Some("⏸"),
+                OpsEventKind::SiteReinstated => Some("▶"),
+                OpsEventKind::SiteRepaired => Some("✔"),
+                _ => None,
+            };
+            if let (Some(mark), Some(site)) = (transition, r.site) {
+                by_site
+                    .entry(site.0)
+                    .or_default()
+                    .push(format!("{mark}{}", &r.at.to_string()[5..16]));
+            }
+        }
+        for (site, marks) in by_site.iter().take(16) {
+            println!(
+                "    {:<24} {}",
+                site_name(Some(grid3_simkit::ids::SiteId(*site))),
+                marks.join("  ")
+            );
+        }
+        if by_site.len() > 16 {
+            println!("    … and {} more sites", by_site.len() - 16);
+        }
+
+        // Efficiency by operational state at finish time (§7 m-eff split).
+        println!("  efficiency by site state at job finish:");
+        for s in &artifacts.report.site_state_efficiency {
+            println!(
+                "    {:<12} {:>8} completed {:>8} failed   {:>5.1}%",
+                s.state,
+                s.completed,
+                s.failed,
+                s.efficiency * 100.0
+            );
+        }
+
+        // Incident log: the operator console scrollback.
+        println!("  incident log ({} records; first 20):", records.len());
+        for r in records.iter().take(20) {
+            println!(
+                "    {}  {:<24} {}",
+                r.at,
+                site_name(r.site),
+                kind_label(&r.kind)
+            );
+        }
+        std::fs::write("results/ops.jsonl", artifacts.ops.to_jsonl()).ok();
+        println!("  wrote results/ops.jsonl\n");
+    }
+
     eprintln!("[figures] done; JSON artifacts in results/");
 }
 

@@ -14,8 +14,10 @@
 
 use crate::report::Grid3Report;
 use crate::scenario::ScenarioConfig;
+use grid3_simkit::profiler::CostProfiler;
 use grid3_simkit::stats::{percentile, Summary};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One named configuration variant of a campaign (e.g. the SRM ablation
 /// or a resilience-layer overlay of the same window).
@@ -79,6 +81,53 @@ impl CampaignPlan {
     }
 }
 
+/// Progress snapshot handed to [`CampaignObserver::run_finished`] as
+/// each run completes.
+#[derive(Debug, Clone)]
+pub struct RunProgress<'a> {
+    /// The finished run's variant label.
+    pub variant: &'a str,
+    /// The finished run's seed.
+    pub seed: u64,
+    /// Runs finished so far, this one included (monotonic across
+    /// workers: 1, 2, …, `total` regardless of thread count).
+    pub completed: usize,
+    /// Total runs in the plan.
+    pub total: usize,
+    /// The finished run's overall completion efficiency.
+    pub efficiency: f64,
+}
+
+/// Progress hook for campaign executors. Called once per finished run,
+/// from whichever worker finished it, in *completion* order; reports
+/// and profiles are still collected in plan order, so the
+/// [`CampaignOutcome`] is identical for any thread count or scheduling.
+pub trait CampaignObserver: Sync {
+    /// One run of the plan finished.
+    fn run_finished(&self, progress: &RunProgress<'_>);
+}
+
+/// An observer that prints one progress line per finished run to
+/// stderr (stdout stays clean for machine-readable output).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrObserver;
+
+impl CampaignObserver for StderrObserver {
+    fn run_finished(&self, p: &RunProgress<'_>) {
+        eprintln!(
+            "[campaign {}/{}] {} seed {}: efficiency {:.3}",
+            p.completed, p.total, p.variant, p.seed, p.efficiency
+        );
+    }
+}
+
+/// The do-nothing observer behind the observer-less entry points.
+struct NullObserver;
+
+impl CampaignObserver for NullObserver {
+    fn run_finished(&self, _: &RunProgress<'_>) {}
+}
+
 /// A percentile band of one metric across a variant's runs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PercentileBand {
@@ -120,6 +169,21 @@ impl PercentileBand {
     }
 }
 
+/// One cost center's band across a variant's profiled runs: which
+/// `(subsystem, event-type)` the engine spent its time in, and how
+/// stable that cost was across seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CenterBand {
+    /// Subsystem the events were routed to.
+    pub subsystem: String,
+    /// Event-type label within the subsystem.
+    pub event: String,
+    /// Events dispatched to this center, summed across runs.
+    pub events: u64,
+    /// Handler self-time per event, nanoseconds, banded across runs.
+    pub ns_per_event: PercentileBand,
+}
+
 /// The merged statistics of one variant across every seed.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VariantSummary {
@@ -137,6 +201,9 @@ pub struct VariantSummary {
     pub total_data_tb: PercentileBand,
     /// Total terminal job records band.
     pub total_jobs: PercentileBand,
+    /// Per-cost-center ns/event bands, ranked most expensive first.
+    /// Empty unless the variant's config ran with profiling enabled.
+    pub cost_bands: Vec<CenterBand>,
 }
 
 /// The merged campaign summary: one [`VariantSummary`] per variant, in
@@ -155,24 +222,70 @@ pub struct CampaignSummary {
 pub struct CampaignOutcome {
     /// `reports[v][s]` is variant `v` under the `s`-th seed.
     pub reports: Vec<Vec<Grid3Report>>,
+    /// Per-variant cost profiles merged across seeds; `None` for
+    /// variants whose config ran without profiling.
+    pub profiles: Vec<Option<CostProfiler>>,
     /// The merged percentile-band summary.
     pub summary: CampaignSummary,
 }
 
-fn merge(plan: &CampaignPlan, flat: Vec<Grid3Report>) -> CampaignOutcome {
+/// Per-center ns/event bands across one variant's profiled runs, ranked
+/// by mean ns/event descending. Centers a run never dispatched to
+/// contribute no sample; centers no run dispatched to are dropped.
+fn cost_bands(group: &[(Grid3Report, Option<CostProfiler>)]) -> Vec<CenterBand> {
+    let Some(first) = group.iter().find_map(|(_, p)| p.as_ref()) else {
+        return Vec::new();
+    };
+    let mut bands: Vec<CenterBand> = first
+        .centers()
+        .iter()
+        .enumerate()
+        .filter_map(|(ci, c)| {
+            let samples: Vec<f64> = group
+                .iter()
+                .filter_map(|(_, p)| p.as_ref())
+                .filter_map(|p| {
+                    let s = &p.stats()[ci];
+                    (s.events > 0).then(|| s.total_ns as f64 / s.events as f64)
+                })
+                .collect();
+            let events: u64 = group
+                .iter()
+                .filter_map(|(_, p)| p.as_ref())
+                .map(|p| p.stats()[ci].events)
+                .sum();
+            (events > 0).then(|| CenterBand {
+                subsystem: c.subsystem.to_string(),
+                event: c.event.to_string(),
+                events,
+                ns_per_event: PercentileBand::from_samples(&samples),
+            })
+        })
+        .collect();
+    bands.sort_by(|a, b| {
+        b.ns_per_event
+            .mean
+            .partial_cmp(&a.ns_per_event.mean)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    bands
+}
+
+fn merge(plan: &CampaignPlan, flat: Vec<(Grid3Report, Option<CostProfiler>)>) -> CampaignOutcome {
     let per = plan.seeds.len();
-    let mut reports: Vec<Vec<Grid3Report>> = Vec::with_capacity(plan.variants.len());
+    let mut groups: Vec<Vec<(Grid3Report, Option<CostProfiler>)>> =
+        Vec::with_capacity(plan.variants.len());
     let mut it = flat.into_iter();
     for _ in &plan.variants {
-        reports.push(it.by_ref().take(per).collect());
+        groups.push(it.by_ref().take(per).collect());
     }
     let variants = plan
         .variants
         .iter()
-        .zip(&reports)
+        .zip(&groups)
         .map(|(v, group)| {
             let metric = |f: &dyn Fn(&Grid3Report) -> f64| {
-                let samples: Vec<f64> = group.iter().map(f).collect();
+                let samples: Vec<f64> = group.iter().map(|(r, _)| f(r)).collect();
                 PercentileBand::from_samples(&samples)
             };
             VariantSummary {
@@ -183,27 +296,78 @@ fn merge(plan: &CampaignPlan, flat: Vec<Grid3Report>) -> CampaignOutcome {
                 site_problem_fraction: metric(&|r| r.metrics.site_problem_fraction),
                 total_data_tb: metric(&|r| r.metrics.total_data.as_tb_f64()),
                 total_jobs: metric(&|r| r.total_jobs as f64),
+                cost_bands: cost_bands(group),
             }
         })
         .collect();
+    let mut reports: Vec<Vec<Grid3Report>> = Vec::with_capacity(groups.len());
+    let mut profiles: Vec<Option<CostProfiler>> = Vec::with_capacity(groups.len());
+    for group in groups {
+        let mut merged: Option<CostProfiler> = None;
+        let mut group_reports = Vec::with_capacity(group.len());
+        for (report, profile) in group {
+            if let Some(p) = profile {
+                match &mut merged {
+                    Some(m) => m.merge(&p),
+                    None => merged = Some(p),
+                }
+            }
+            group_reports.push(report);
+        }
+        reports.push(group_reports);
+        profiles.push(merged);
+    }
     CampaignOutcome {
         summary: CampaignSummary {
             variants,
             runs: reports.iter().map(Vec::len).sum(),
         },
         reports,
+        profiles,
     }
+}
+
+/// Execute one planned run and notify `observer` with its plan context
+/// and the campaign-wide completion count.
+fn run_and_observe(
+    plan: &CampaignPlan,
+    (vi, seed, cfg): &(usize, u64, ScenarioConfig),
+    done: &AtomicUsize,
+    total: usize,
+    observer: &dyn CampaignObserver,
+) -> (Grid3Report, Option<CostProfiler>) {
+    let artifacts = cfg.run_full();
+    let completed = done.fetch_add(1, Ordering::SeqCst) + 1;
+    observer.run_finished(&RunProgress {
+        variant: &plan.variants[*vi].name,
+        seed: *seed,
+        completed,
+        total,
+        efficiency: artifacts.report.metrics.overall_efficiency,
+    });
+    (artifacts.report, artifacts.profile)
 }
 
 /// Run the whole plan **in parallel** with Rayon (one simulation per
 /// worker; reports come back in plan order regardless of completion
 /// order) and merge the summary.
 pub fn run_campaign(plan: &CampaignPlan) -> CampaignOutcome {
+    run_campaign_observed(plan, &NullObserver)
+}
+
+/// [`run_campaign`] with a progress observer, invoked in completion
+/// order as workers finish.
+pub fn run_campaign_observed(
+    plan: &CampaignPlan,
+    observer: &dyn CampaignObserver,
+) -> CampaignOutcome {
     use rayon::prelude::*;
-    let flat: Vec<Grid3Report> = plan
+    let total = plan.len();
+    let done = AtomicUsize::new(0);
+    let flat: Vec<(Grid3Report, Option<CostProfiler>)> = plan
         .runs()
         .par_iter()
-        .map(|(_, _, cfg)| cfg.run())
+        .map(|run| run_and_observe(plan, run, &done, total, observer))
         .collect();
     merge(plan, flat)
 }
@@ -211,7 +375,21 @@ pub fn run_campaign(plan: &CampaignPlan) -> CampaignOutcome {
 /// Run the whole plan serially (the reference executor the parallel
 /// paths are tested against).
 pub fn run_campaign_serial(plan: &CampaignPlan) -> CampaignOutcome {
-    let flat: Vec<Grid3Report> = plan.runs().iter().map(|(_, _, cfg)| cfg.run()).collect();
+    run_campaign_serial_observed(plan, &NullObserver)
+}
+
+/// [`run_campaign_serial`] with a progress observer.
+pub fn run_campaign_serial_observed(
+    plan: &CampaignPlan,
+    observer: &dyn CampaignObserver,
+) -> CampaignOutcome {
+    let total = plan.len();
+    let done = AtomicUsize::new(0);
+    let flat: Vec<(Grid3Report, Option<CostProfiler>)> = plan
+        .runs()
+        .iter()
+        .map(|run| run_and_observe(plan, run, &done, total, observer))
+        .collect();
     merge(plan, flat)
 }
 
@@ -221,25 +399,36 @@ pub fn run_campaign_serial(plan: &CampaignPlan) -> CampaignOutcome {
 /// report into its plan-order slot, so the outcome is identical for any
 /// thread count.
 pub fn run_with_threads(plan: &CampaignPlan, threads: usize) -> CampaignOutcome {
+    run_with_threads_observed(plan, threads, &NullObserver)
+}
+
+/// [`run_with_threads`] with a progress observer, invoked in completion
+/// order as workers finish.
+pub fn run_with_threads_observed(
+    plan: &CampaignPlan,
+    threads: usize,
+    observer: &dyn CampaignObserver,
+) -> CampaignOutcome {
     let runs = plan.runs();
     let n = runs.len();
     let threads = threads.max(1).min(n.max(1));
-    let slots: Vec<parking_lot::Mutex<Option<Grid3Report>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    type Slot = parking_lot::Mutex<Option<(Grid3Report, Option<CostProfiler>)>>;
+    let slots: Vec<Slot> = (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let report = runs[i].2.run();
-                *slots[i].lock() = Some(report);
+                let result = run_and_observe(plan, &runs[i], &done, n, observer);
+                *slots[i].lock() = Some(result);
             });
         }
     });
-    let flat: Vec<Grid3Report> = slots
+    let flat: Vec<(Grid3Report, Option<CostProfiler>)> = slots
         .into_iter()
         .map(|s| s.into_inner().expect("every slot filled"))
         .collect();
@@ -342,6 +531,78 @@ mod tests {
         assert_eq!(runs[0].0, 0);
         assert_eq!(runs[3].0, 1);
         assert_eq!(runs[4].1, 2);
+    }
+
+    /// Records every progress callback for the observer tests.
+    struct RecordingObserver(parking_lot::Mutex<Vec<(usize, String, u64)>>);
+
+    impl CampaignObserver for RecordingObserver {
+        fn run_finished(&self, p: &RunProgress<'_>) {
+            self.0
+                .lock()
+                .push((p.completed, p.variant.to_string(), p.seed));
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_run_with_monotonic_completion() {
+        let plan = CampaignPlan::single("base", tiny(), vec![1, 2])
+            .with_variant("srm", tiny().with_srm(true));
+        let observer = RecordingObserver(parking_lot::Mutex::new(Vec::new()));
+        let outcome = run_with_threads_observed(&plan, 3, &observer);
+        let calls = observer.0.into_inner();
+        assert_eq!(calls.len(), plan.len());
+        // Completion counts arrive in order 1..=n no matter which worker
+        // finished which run.
+        let counts: Vec<usize> = calls.iter().map(|(c, _, _)| *c).collect();
+        assert_eq!(counts, (1..=plan.len()).collect::<Vec<_>>());
+        // Every (variant, seed) pair is reported exactly once.
+        let mut pairs: Vec<(String, u64)> = calls.iter().map(|(_, v, s)| (v.clone(), *s)).collect();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs.len(), plan.len());
+        assert_eq!(outcome.summary.runs, plan.len());
+    }
+
+    #[test]
+    fn observed_outcome_is_thread_count_independent() {
+        let plan = CampaignPlan::single("base", tiny(), vec![1, 2, 3]);
+        let observer = RecordingObserver(parking_lot::Mutex::new(Vec::new()));
+        let one = run_with_threads_observed(&plan, 1, &observer);
+        let four = run_with_threads_observed(&plan, 4, &observer);
+        let eff = |o: &CampaignOutcome| -> Vec<f64> {
+            o.reports[0]
+                .iter()
+                .map(|r| r.metrics.overall_efficiency)
+                .collect()
+        };
+        assert_eq!(eff(&one), eff(&four));
+        assert_eq!(
+            one.summary.variants[0].efficiency.p50,
+            four.summary.variants[0].efficiency.p50
+        );
+    }
+
+    #[test]
+    fn profiled_campaigns_merge_cost_bands() {
+        let plan = CampaignPlan::single("profiled", tiny().with_profile(true), vec![1, 2]);
+        let outcome = run_campaign_serial(&plan);
+        let merged = outcome.profiles[0].as_ref().expect("merged profile");
+        assert!(merged.stats().iter().any(|s| s.events > 0));
+        let bands = &outcome.summary.variants[0].cost_bands;
+        assert!(!bands.is_empty(), "profiled variant has cost bands");
+        // Ranked most expensive first by mean ns/event.
+        for pair in bands.windows(2) {
+            assert!(pair[0].ns_per_event.mean >= pair[1].ns_per_event.mean);
+        }
+        for band in bands {
+            assert!(band.events > 0);
+            assert!(band.ns_per_event.min <= band.ns_per_event.max);
+        }
+        // An unprofiled plan carries no profile and no bands.
+        let plain = run_campaign_serial(&CampaignPlan::single("plain", tiny(), vec![1]));
+        assert!(plain.profiles[0].is_none());
+        assert!(plain.summary.variants[0].cost_bands.is_empty());
     }
 
     #[test]

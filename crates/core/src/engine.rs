@@ -44,12 +44,14 @@ use grid3_monitoring::acdc::AcdcJobMonitor;
 use grid3_monitoring::mdviewer::MdViewer;
 use grid3_monitoring::trace::TraceStore;
 use grid3_simkit::engine::EventQueue;
+use grid3_simkit::profiler::{alloc_snapshot, CostProfiler};
 use grid3_simkit::series::GaugeTracker;
 use grid3_simkit::telemetry::Telemetry;
 use grid3_simkit::time::SimTime;
 use grid3_simkit::units::Bytes;
 use grid3_site::cluster::Site;
 use grid3_workflow::dagman::DagState;
+use std::time::Instant;
 
 use crate::resilience::{ResilienceLayer, SiteStateLedger};
 use crate::subsystems::brokering::Brokering;
@@ -74,6 +76,12 @@ pub struct Grid3Engine {
     /// event but draws no randomness and schedules nothing, so it cannot
     /// perturb the run.
     pub(crate) auditor: Option<crate::chaos::InvariantAuditor>,
+    /// The cost-attribution profiler (`None` unless the scenario enables
+    /// `profile`). Observation-only like the auditor: it reads the wall
+    /// clock and the allocation counters but feeds nothing back into
+    /// simulation state, so enabling it cannot move a simulated byte —
+    /// the golden-hash suite pins that.
+    pub(crate) profiler: Option<grid3_simkit::profiler::CostProfiler>,
 }
 
 /// The historical name of the engine, kept for call sites and prose that
@@ -151,6 +159,13 @@ impl Grid3Engine {
         if let Some(a) = &mut self.auditor {
             a.observe_event(now, &event, &self.fabric);
         }
+        // Snapshot clocks/counters only when profiling: the baseline path
+        // must not even read `Instant::now()`. The cost-center index is
+        // taken before the match consumes the event.
+        let prof_start = self
+            .profiler
+            .as_ref()
+            .map(|_| (event.cost_center(), alloc_snapshot(), Instant::now()));
         match event {
             GridEvent::Brokering(e) => {
                 self.brokering
@@ -169,6 +184,24 @@ impl Grid3Engine {
             // Emitted as a *trailing* immediate so the inner event's queue
             // insertion lands after the cascade's — preserving FIFO order.
             GridEvent::Timer(at, inner) => self.ctx.queue.schedule_at(at, *inner),
+        }
+        // Record before draining: the immediates buffer was empty when the
+        // handler started (the drain below always leaves it empty), so its
+        // length *is* this event's fan-out — and the nested dispatches
+        // time themselves, leaving this measurement pure self-time.
+        if let Some((center, (allocs0, bytes0), t0)) = prof_start {
+            let ns = t0.elapsed().as_nanos() as u64;
+            let (allocs1, bytes1) = alloc_snapshot();
+            let fanout = self.ctx.immediates.len() as u64;
+            if let Some(p) = &mut self.profiler {
+                p.record(
+                    center,
+                    ns,
+                    fanout,
+                    allocs1.saturating_sub(allocs0),
+                    bytes1.saturating_sub(bytes0),
+                );
+            }
         }
         if !self.ctx.immediates.is_empty() {
             // Swap in a recycled buffer so the nested dispatches emit into
@@ -304,6 +337,25 @@ impl Grid3Engine {
     /// The invariant auditor (`None` unless the scenario enables `audit`).
     pub fn audit(&self) -> Option<&crate::chaos::InvariantAuditor> {
         self.auditor.as_ref()
+    }
+
+    /// The cost-attribution profile accumulated so far (`None` unless
+    /// the scenario enables `profile`).
+    pub fn profiler(&self) -> Option<&CostProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Detach the accumulated cost profile, leaving the engine
+    /// unprofiled. Campaign executors use this to merge per-run profiles
+    /// without cloning histogram arrays.
+    pub fn take_profiler(&mut self) -> Option<CostProfiler> {
+        self.profiler.take()
+    }
+
+    /// The structured ops journal (disabled and empty unless the
+    /// scenario enables `ops_journal`).
+    pub fn ops_journal(&self) -> &crate::ops::OpsJournal {
+        &self.ctx.ops
     }
 
     /// Check an extracted report's totals against the audited ledger

@@ -39,6 +39,9 @@
 //!   storm scenario exercising the resilience layer.
 //! * [`report`] — report extraction and ASCII rendering: Table 1, every
 //!   figure's series, and the §7 milestones/metrics block.
+//! * [`ops`] — the structured ops journal: the JSON-lines stream of
+//!   operational events (faults, tickets, blacklists, rescues, reaps)
+//!   behind the `figures -- ops` iGOC-console view.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +61,7 @@ pub mod broker;
 pub mod campaign;
 pub mod chaos;
 pub mod engine;
+pub mod ops;
 pub mod report;
 pub mod resilience;
 pub mod scenario;
@@ -69,6 +73,7 @@ mod engine_tests;
 
 pub use chaos::{ChaosRates, FaultKind, FaultPlan, InvariantAuditor, PlannedFault, Violation};
 pub use engine::{Grid3Engine, Simulation};
+pub use ops::{OpsEventKind, OpsJournal, OpsRecord};
 pub use report::Grid3Report;
 pub use resilience::{ResilienceConfig, ResilienceLayer};
 pub use scenario::{CampaignSpec, ScenarioConfig, StormSpec};

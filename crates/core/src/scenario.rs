@@ -103,6 +103,19 @@ pub struct ScenarioConfig {
     /// adds nothing to the report, so enabling it cannot change a run's
     /// golden hash.
     pub audit: bool,
+    /// Run the cost-attribution profiler alongside the simulation:
+    /// per-(subsystem × event-type) wall time, fan-out, and (with the
+    /// simkit `count-allocs` feature) allocation accounting. Like the
+    /// auditor it is observation-only — wall clocks are read but nothing
+    /// feeds back into the run, so the golden hashes cannot move. The
+    /// profile lives beside the report ([`ScenarioConfig::run_full`]),
+    /// never inside it.
+    pub profile: bool,
+    /// Record the structured ops journal: the JSON-lines stream of
+    /// operational events (faults, tickets, blacklists, repairs, rescue
+    /// DAGs, watchdog reaps) behind `figures -- ops`. Observation-only
+    /// and kept beside the report, exactly like the profile.
+    pub ops_journal: bool,
 }
 
 /// Event-queue backend selector (see [`ScenarioConfig::queue`]).
@@ -153,6 +166,8 @@ impl ScenarioConfig {
             queue: QueueKind::Ladder,
             chaos: None,
             audit: false,
+            profile: false,
+            ops_journal: false,
         }
     }
 
@@ -312,6 +327,18 @@ impl ScenarioConfig {
         self
     }
 
+    /// Enable/disable the cost-attribution profiler.
+    pub fn with_profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
+    /// Enable/disable the structured ops journal.
+    pub fn with_ops_journal(mut self, on: bool) -> Self {
+        self.ops_journal = on;
+        self
+    }
+
     /// The simulation horizon as an instant.
     pub fn horizon(&self) -> SimTime {
         SimTime::from_days(self.days)
@@ -340,6 +367,39 @@ impl ScenarioConfig {
         sim.run();
         Grid3Report::extract(&sim)
     }
+
+    /// Build and run the simulation, returning the report *and* the
+    /// observation-only artifacts that live beside it: the cost profile
+    /// (if `profile` is on), the ops journal (if `ops_journal` is on),
+    /// and the processed-event count. The report is byte-identical to
+    /// what [`ScenarioConfig::run`] extracts — the artifacts never touch
+    /// its JSON, so golden hashes hold either way.
+    pub fn run_full(&self) -> RunArtifacts {
+        let mut sim = Simulation::new(self.clone());
+        sim.run();
+        let report = Grid3Report::extract(&sim);
+        RunArtifacts {
+            events_processed: sim.events_processed(),
+            ops: sim.ops_journal().clone(),
+            profile: sim.take_profiler(),
+            report,
+        }
+    }
+}
+
+/// Everything one run produces: the (golden-hashed) report plus the
+/// observation-only side artifacts. See [`ScenarioConfig::run_full`].
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// The extracted report — byte-identical to [`ScenarioConfig::run`].
+    pub report: Grid3Report,
+    /// Timed queue pops processed by the engine.
+    pub events_processed: u64,
+    /// The accumulated cost profile (`None` unless `profile` was on).
+    pub profile: Option<grid3_simkit::profiler::CostProfiler>,
+    /// The ops journal handle (disabled and empty unless `ops_journal`
+    /// was on).
+    pub ops: crate::ops::OpsJournal,
 }
 
 /// Aggregate statistics across replicas of one configuration.

@@ -312,17 +312,30 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         .clone()
         .map(|rc| ResilienceLayer::new(rc, sites.len()));
 
+    let ops = if cfg.ops_journal {
+        crate::ops::OpsJournal::enabled()
+    } else {
+        crate::ops::OpsJournal::disabled()
+    };
     let ctx = EngineCtx {
         broker_rng: SimRng::for_entity(cfg.seed, 0xB0B),
         fate_rng: SimRng::for_entity(cfg.seed, 0xFA7E),
         queue,
         telemetry,
         traces: TraceStore::new(),
+        ops,
         immediates: Vec::new(),
         drain_pool: Vec::new(),
     };
     let auditor = if cfg.audit {
         Some(crate::chaos::InvariantAuditor::new())
+    } else {
+        None
+    };
+    let profiler = if cfg.profile {
+        Some(grid3_simkit::profiler::CostProfiler::new(
+            &super::COST_CENTERS,
+        ))
     } else {
         None
     };
@@ -356,5 +369,6 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         fault: FaultHandling::default(),
         reporting: Reporting::new(viewer),
         auditor,
+        profiler,
     }
 }

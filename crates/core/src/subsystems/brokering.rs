@@ -550,6 +550,14 @@ impl Brokering {
                         format!("campaign{idx}"),
                         rearmed as u64,
                     );
+                    ctx.ops.record(
+                        now,
+                        None,
+                        crate::ops::OpsEventKind::RescueDag {
+                            campaign: idx as u64,
+                            rearmed: rearmed as u64,
+                        },
+                    );
                     RESCUE_DAG_DELAY
                 }
             }

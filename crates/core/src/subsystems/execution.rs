@@ -165,6 +165,11 @@ impl Execution {
         fabric.job_gauge.step(now, -1.0);
         ctx.telemetry
             .counter_add("chaos", "hung_job_reaped", format!("site{}", site.0), 1);
+        ctx.ops.record(
+            now,
+            Some(site),
+            crate::ops::OpsEventKind::WatchdogReap { job },
+        );
         ctx.queue
             .schedule_at(now, GridEvent::Execution(ExecutionEvent::TryDispatch(site)));
         fabric.fail_active_job(ctx, now, job, FailureCause::WalltimeExceeded);

@@ -247,7 +247,12 @@ impl GridFabric {
     /// tickets resolve through their own repair event instead). While
     /// the site is partitioned from the iGOC, resolution is deferred —
     /// the partition-heal event re-runs this.
-    pub fn resolve_site_tickets(&mut self, site: SiteId, now: SimTime) {
+    pub fn resolve_site_tickets(
+        &mut self,
+        ops: &crate::ops::OpsJournal,
+        site: SiteId,
+        now: SimTime,
+    ) {
         if self.chaos.is_igoc_partitioned(site) {
             return;
         }
@@ -261,6 +266,11 @@ impl GridFabric {
             .collect();
         for id in open {
             self.center.tickets.resolve(id, now);
+            ops.record(
+                now,
+                Some(site),
+                crate::ops::OpsEventKind::TicketResolved { ticket: id },
+            );
         }
     }
 

@@ -8,6 +8,7 @@
 //! the monolith inserted those *before* the restore — the trailing timer
 //! preserves that insertion order, and with it FIFO tie-breaking.
 
+use crate::ops::OpsEventKind;
 use crate::resilience::{SiteState, SiteStateLedger};
 use grid3_igoc::tickets::TicketKind;
 use grid3_simkit::ids::SiteId;
@@ -37,6 +38,13 @@ impl FaultHandling {
         if !fabric.topo.is_online(site, now) {
             return;
         }
+        ctx.ops.record(
+            now,
+            Some(site),
+            OpsEventKind::FaultInjected {
+                kind: incident.label().to_string(),
+            },
+        );
         match incident {
             FailureEvent::DiskFull {
                 external_bytes,
@@ -54,19 +62,36 @@ impl FaultHandling {
                     now + cleanup_after,
                     GridEvent::Fault(FaultEvent::DiskCleanup(site, consumed.taken)),
                 );
-                fabric.center.tickets.open(site, TicketKind::DiskFull, now);
+                let ticket = fabric.center.tickets.open(site, TicketKind::DiskFull, now);
+                ctx.ops.record(
+                    now,
+                    Some(site),
+                    OpsEventKind::TicketOpened {
+                        ticket,
+                        kind: format!("{:?}", TicketKind::DiskFull),
+                    },
+                );
                 if !consumed.shortfall.is_zero() && fabric.cfg.chaos.is_some() {
                     // The incident wanted more space than the disk had:
                     // surface the shortfall as a quota-pressure ticket
                     // instead of dropping it on the floor. Gated on the
                     // chaos layer so baseline golden runs are untouched.
-                    fabric
+                    let ticket = fabric
                         .center
                         .tickets
                         .open(site, TicketKind::DiskPressure, now);
+                    ctx.ops.record(
+                        now,
+                        Some(site),
+                        OpsEventKind::TicketOpened {
+                            ticket,
+                            kind: format!("{:?}", TicketKind::DiskPressure),
+                        },
+                    );
                 }
                 if let Some(r) = &mut fabric.resilience {
                     r.suspend(site);
+                    ctx.ops.record(now, Some(site), OpsEventKind::SiteSuspended);
                 }
                 if !fabric.cfg.srm_reservations {
                     // §6.2: "a disk would fill up … and all jobs submitted
@@ -86,6 +111,7 @@ impl FaultHandling {
                 // accounted against a degraded site.
                 if let Some(r) = &mut fabric.resilience {
                     r.suspend(site);
+                    ctx.ops.record(now, Some(site), OpsEventKind::SiteSuspended);
                 }
                 fabric.fail_site_transfers(ctx, now, site, FailureCause::ServiceFailure);
                 fabric.kill_non_running(ctx, now, site, FailureCause::ServiceFailure);
@@ -100,6 +126,7 @@ impl FaultHandling {
                 fabric.gridftp.set_link_up(site, false);
                 if let Some(r) = &mut fabric.resilience {
                     r.suspend(site);
+                    ctx.ops.record(now, Some(site), OpsEventKind::SiteSuspended);
                 }
                 fabric.fail_site_transfers(ctx, now, site, FailureCause::NetworkInterruption);
                 // Detection happens via the status-probe → ticket path.
@@ -150,6 +177,9 @@ impl FaultHandling {
         let s = &mut fabric.sites[site.index()];
         s.validated = true;
         s.repaired = true;
+        ctx.ops
+            .record(now, Some(site), OpsEventKind::TicketResolved { ticket });
+        ctx.ops.record(now, Some(site), OpsEventKind::SiteRepaired);
         ctx.telemetry
             .counter_add("resilience", "repair", format!("site{}", site.0), 1);
         ctx.queue
@@ -196,6 +226,16 @@ impl FaultHandling {
                 .center
                 .tickets
                 .open(site, TicketKind::FailureStorm, now);
+            ctx.ops.record(
+                now,
+                Some(site),
+                OpsEventKind::TicketOpened {
+                    ticket,
+                    kind: format!("{:?}", TicketKind::FailureStorm),
+                },
+            );
+            ctx.ops
+                .record(now, Some(site), OpsEventKind::StormDetected { ticket });
             r.begin_repair(site, ticket);
             let delay = r
                 .config()
@@ -233,9 +273,11 @@ impl Subsystem for FaultHandling {
                 fabric
                     .gridftp
                     .set_link_up(site, fabric.sites[site.index()].network_up);
-                fabric.resolve_site_tickets(site, now);
+                fabric.resolve_site_tickets(&ctx.ops, site, now);
                 if let Some(r) = &mut fabric.resilience {
                     r.reinstate(site, now);
+                    ctx.ops
+                        .record(now, Some(site), OpsEventKind::SiteReinstated);
                 }
                 ctx.queue
                     .schedule_at(now, GridEvent::Execution(ExecutionEvent::TryDispatch(site)));
@@ -245,9 +287,11 @@ impl Subsystem for FaultHandling {
                 fabric
                     .gridftp
                     .set_link_up(site, fabric.sites[site.index()].service_up);
-                fabric.resolve_site_tickets(site, now);
+                fabric.resolve_site_tickets(&ctx.ops, site, now);
                 if let Some(r) = &mut fabric.resilience {
                     r.reinstate(site, now);
+                    ctx.ops
+                        .record(now, Some(site), OpsEventKind::SiteReinstated);
                 }
             }
             FaultEvent::NodesRestore(site) => {
@@ -260,9 +304,11 @@ impl Subsystem for FaultHandling {
                 if let Some(flag) = fabric.chaos.cleanup_pending.get_mut(site.index()) {
                     *flag = false;
                 }
-                fabric.resolve_site_tickets(site, now);
+                fabric.resolve_site_tickets(&ctx.ops, site, now);
                 if let Some(r) = &mut fabric.resilience {
                     r.reinstate(site, now);
+                    ctx.ops
+                        .record(now, Some(site), OpsEventKind::SiteReinstated);
                 }
                 ctx.queue
                     .schedule_at(now, GridEvent::Execution(ExecutionEvent::TryDispatch(site)));
@@ -281,6 +327,13 @@ impl Subsystem for FaultHandling {
                 }
                 ctx.telemetry
                     .counter_add("chaos", "black_hole", format!("site{}", site.0), 1);
+                ctx.ops.record(
+                    now,
+                    Some(site),
+                    OpsEventKind::FaultInjected {
+                        kind: "black_hole".to_string(),
+                    },
+                );
                 ctx.queue.schedule_at(
                     now + duration,
                     GridEvent::Fault(FaultEvent::ChaosBlackHoleEnd(site)),
@@ -299,6 +352,13 @@ impl Subsystem for FaultHandling {
                 fabric.rls.mark_stale(site);
                 ctx.telemetry
                     .counter_add("chaos", "rls_stale", format!("site{}", site.0), 1);
+                ctx.ops.record(
+                    now,
+                    Some(site),
+                    OpsEventKind::FaultInjected {
+                        kind: "rls_stale".to_string(),
+                    },
+                );
                 ctx.queue.schedule_at(
                     now + duration,
                     GridEvent::Fault(FaultEvent::ChaosRlsHeal(site)),
@@ -311,6 +371,13 @@ impl Subsystem for FaultHandling {
                 fabric.center.mds.set_frozen(site, true);
                 ctx.telemetry
                     .counter_add("chaos", "mds_freeze", format!("site{}", site.0), 1);
+                ctx.ops.record(
+                    now,
+                    Some(site),
+                    OpsEventKind::FaultInjected {
+                        kind: "mds_freeze".to_string(),
+                    },
+                );
                 ctx.queue.schedule_at(
                     now + duration,
                     GridEvent::Fault(FaultEvent::ChaosMdsThaw(site)),
@@ -325,6 +392,13 @@ impl Subsystem for FaultHandling {
                 }
                 ctx.telemetry
                     .counter_add("chaos", "sensor_blackout", format!("site{}", site.0), 1);
+                ctx.ops.record(
+                    now,
+                    Some(site),
+                    OpsEventKind::FaultInjected {
+                        kind: "sensor_blackout".to_string(),
+                    },
+                );
                 ctx.queue.schedule_at(
                     now + duration,
                     GridEvent::Fault(FaultEvent::ChaosSensorRestore(site)),
@@ -341,6 +415,13 @@ impl Subsystem for FaultHandling {
                 }
                 ctx.telemetry
                     .counter_add("chaos", "igoc_partition", format!("site{}", site.0), 1);
+                ctx.ops.record(
+                    now,
+                    Some(site),
+                    OpsEventKind::FaultInjected {
+                        kind: "igoc_partition".to_string(),
+                    },
+                );
                 ctx.queue.schedule_at(
                     now + duration,
                     GridEvent::Fault(FaultEvent::ChaosIgocHeal(site)),
@@ -352,7 +433,7 @@ impl Subsystem for FaultHandling {
                 }
                 // Ticket traffic queued behind the partition resolves now
                 // that the site can reach the operations center again.
-                fabric.resolve_site_tickets(site, now);
+                fabric.resolve_site_tickets(&ctx.ops, site, now);
             }
         }
     }

@@ -42,6 +42,7 @@ pub use fabric::GridFabric;
 use grid3_apps::workloads::Submission;
 use grid3_simkit::engine::{EventLabel, EventQueue};
 use grid3_simkit::ids::{JobId, SiteId, TransferId};
+use grid3_simkit::profiler::CostCenter;
 use grid3_simkit::rng::SimRng;
 use grid3_simkit::telemetry::Telemetry;
 use grid3_simkit::time::{SimDuration, SimTime};
@@ -265,6 +266,206 @@ impl EventLabel for GridEvent {
     }
 }
 
+/// The cost-attribution table: one [`CostCenter`] per routed event type,
+/// indexed by [`GridEvent::cost_center`]. The engine's dispatch loop
+/// charges handler self-time, fan-out, and allocation deltas to these
+/// slots when profiling is on; `figures -- heat` renders them ranked.
+///
+/// Order mirrors the [`EventLabel`] match above — grouped by subsystem,
+/// declaration order within — so attribution rows read like the router.
+pub static COST_CENTERS: [CostCenter; 34] = [
+    CostCenter {
+        subsystem: "brokering",
+        event: "submit",
+    },
+    CostCenter {
+        subsystem: "brokering",
+        event: "retry_place",
+    },
+    CostCenter {
+        subsystem: "brokering",
+        event: "campaign_tick",
+    },
+    CostCenter {
+        subsystem: "brokering",
+        event: "campaign_outcome",
+    },
+    CostCenter {
+        subsystem: "staging",
+        event: "stage_in_done",
+    },
+    CostCenter {
+        subsystem: "staging",
+        event: "stage_out_done",
+    },
+    CostCenter {
+        subsystem: "staging",
+        event: "begin_stage_out",
+    },
+    CostCenter {
+        subsystem: "staging",
+        event: "entrada_round",
+    },
+    CostCenter {
+        subsystem: "staging",
+        event: "demo_transfer_done",
+    },
+    CostCenter {
+        subsystem: "staging",
+        event: "chaos_truncate_transfer",
+    },
+    CostCenter {
+        subsystem: "execution",
+        event: "try_dispatch",
+    },
+    CostCenter {
+        subsystem: "execution",
+        event: "execution_ends",
+    },
+    CostCenter {
+        subsystem: "execution",
+        event: "hung_job_check",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "incident",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "service_restore",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "network_restore",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "nodes_restore",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "disk_cleanup",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "site_repaired",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "job_outcome",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "chaos_black_hole",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "chaos_black_hole_end",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "chaos_rls_stale",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "chaos_rls_heal",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "chaos_mds_freeze",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "chaos_mds_thaw",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "chaos_sensor_blackout",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "chaos_sensor_restore",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "chaos_igoc_partition",
+    },
+    CostCenter {
+        subsystem: "fault",
+        event: "chaos_igoc_heal",
+    },
+    CostCenter {
+        subsystem: "reporting",
+        event: "monitor_tick",
+    },
+    CostCenter {
+        subsystem: "reporting",
+        event: "job_finished",
+    },
+    CostCenter {
+        subsystem: "reporting",
+        event: "credit_transfer",
+    },
+    CostCenter {
+        subsystem: "engine",
+        event: "timer",
+    },
+];
+
+impl GridEvent {
+    /// This event's index into [`COST_CENTERS`]: a dense discriminant
+    /// the profiler uses as a direct array index — no hashing, no label
+    /// comparison on the hot path.
+    pub fn cost_center(&self) -> usize {
+        match self {
+            GridEvent::Brokering(e) => match e {
+                BrokeringEvent::Submit(..) => 0,
+                BrokeringEvent::RetryPlace(..) => 1,
+                BrokeringEvent::CampaignTick(..) => 2,
+                BrokeringEvent::CampaignOutcome(..) => 3,
+            },
+            GridEvent::Staging(e) => match e {
+                StagingEvent::StageInDone(..) => 4,
+                StagingEvent::StageOutDone(..) => 5,
+                StagingEvent::BeginStageOut(..) => 6,
+                StagingEvent::EntradaRound => 7,
+                StagingEvent::DemoTransferDone(..) => 8,
+                StagingEvent::ChaosTruncateTransfer { .. } => 9,
+            },
+            GridEvent::Execution(e) => match e {
+                ExecutionEvent::TryDispatch(..) => 10,
+                ExecutionEvent::ExecutionEnds(..) => 11,
+                ExecutionEvent::HungJobCheck(..) => 12,
+            },
+            GridEvent::Fault(e) => match e {
+                FaultEvent::Incident(..) => 13,
+                FaultEvent::ServiceRestore(..) => 14,
+                FaultEvent::NetworkRestore(..) => 15,
+                FaultEvent::NodesRestore(..) => 16,
+                FaultEvent::DiskCleanup(..) => 17,
+                FaultEvent::SiteRepaired(..) => 18,
+                FaultEvent::JobOutcome(..) => 19,
+                FaultEvent::ChaosBlackHole(..) => 20,
+                FaultEvent::ChaosBlackHoleEnd(..) => 21,
+                FaultEvent::ChaosRlsStale(..) => 22,
+                FaultEvent::ChaosRlsHeal(..) => 23,
+                FaultEvent::ChaosMdsFreeze(..) => 24,
+                FaultEvent::ChaosMdsThaw(..) => 25,
+                FaultEvent::ChaosSensorBlackout(..) => 26,
+                FaultEvent::ChaosSensorRestore(..) => 27,
+                FaultEvent::ChaosIgocPartition(..) => 28,
+                FaultEvent::ChaosIgocHeal(..) => 29,
+            },
+            GridEvent::Reporting(e) => match e {
+                ReportingEvent::MonitorTick => 30,
+                ReportingEvent::JobFinished(..) => 31,
+                ReportingEvent::CreditTransfer(..) => 32,
+            },
+            GridEvent::Timer(..) => 33,
+        }
+    }
+}
+
 /// The explicit context every subsystem receives: the event queue (and
 /// with it the clock), the engine's deterministic RNG streams, the
 /// instrumentation handle, the §8 trace store, and the immediate-event
@@ -283,6 +484,10 @@ pub struct EngineCtx {
     /// The §8 troubleshooting/accounting trace store (submit-side ↔
     /// execution-side id linkage, per-user accounting).
     pub traces: grid3_monitoring::trace::TraceStore,
+    /// The structured ops journal (disabled by default). Resilience,
+    /// fault-handling, and chaos paths append operational events here;
+    /// the stream lives beside the report, never inside it.
+    pub ops: crate::ops::OpsJournal,
     pub(crate) immediates: Vec<GridEvent>,
     /// Spare drain buffers recycled by the router so each dispatch level
     /// swaps in a pre-warmed `Vec` instead of growing a fresh one. Depth
@@ -297,5 +502,45 @@ impl EngineCtx {
     /// enter the time queue, so they are not profiled as dispatches.
     pub fn emit(&mut self, event: GridEvent) {
         self.immediates.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_center_table_is_unique_and_label_aligned() {
+        // Every (subsystem, event) pair is distinct — two event types
+        // sharing a row would silently merge their attributed cost.
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &COST_CENTERS {
+            assert!(
+                seen.insert((c.subsystem, c.event)),
+                "duplicate cost center {}/{}",
+                c.subsystem,
+                c.event
+            );
+        }
+        // Spot-check the index map against `EventLabel::label` for one
+        // variant per subsystem: a misrouted discriminant would charge
+        // time to the wrong row for the whole run.
+        use grid3_simkit::engine::EventLabel;
+        let samples: Vec<GridEvent> = vec![
+            GridEvent::Brokering(BrokeringEvent::CampaignTick(0)),
+            GridEvent::Staging(StagingEvent::EntradaRound),
+            GridEvent::Execution(ExecutionEvent::TryDispatch(grid3_simkit::ids::SiteId(0))),
+            GridEvent::Fault(FaultEvent::NodesRestore(grid3_simkit::ids::SiteId(0))),
+            GridEvent::Reporting(ReportingEvent::MonitorTick),
+        ];
+        for e in samples {
+            let c = &COST_CENTERS[e.cost_center()];
+            assert_eq!(
+                c.event,
+                e.label(),
+                "cost_center() disagrees with label() for {:?}",
+                e
+            );
+        }
     }
 }

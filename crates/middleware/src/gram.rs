@@ -28,7 +28,7 @@
 
 use grid3_simkit::hash::FastMap;
 use grid3_simkit::ids::{JobId, SiteId};
-use grid3_simkit::telemetry::Telemetry;
+use grid3_simkit::telemetry::{Counter, Histo, Telemetry};
 use grid3_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -43,6 +43,10 @@ pub const SPIKE_PER_SUBMISSION: f64 = 2.0;
 
 /// Default load at which the gatekeeper starts refusing submissions.
 pub const DEFAULT_OVERLOAD_THRESHOLD: f64 = 500.0;
+
+/// Bucket bounds for the `load_at_accept` histogram, anchored at the
+/// paper's calibration points (225 sustained, ×2 and ×4 staging).
+static LOAD_BOUNDS: [f64; 6] = [25.0, 50.0, 100.0, 225.0, 450.0, 900.0];
 
 /// The paper's sustained-load law as a pure function, for parameter sweeps
 /// (the `gkload` experiment): managed jobs × staging factor.
@@ -78,7 +82,9 @@ pub struct Gatekeeper {
     peak_load: f64,
     refused: u64,
     accepted: u64,
-    tele: Telemetry,
+    c_refused: Counter,
+    c_accepted: Counter,
+    h_load_at_accept: Histo,
 }
 
 impl Gatekeeper {
@@ -99,19 +105,22 @@ impl Gatekeeper {
             peak_load: 0.0,
             refused: 0,
             accepted: 0,
-            tele: Telemetry::disabled(),
+            c_refused: Counter::disabled(),
+            c_accepted: Counter::disabled(),
+            h_load_at_accept: Histo::disabled(),
         }
     }
 
     /// Attach the grid-wide instrumentation handle. Counters are labelled
     /// `site<N>` so per-site and grid-wide views both fall out of the
-    /// registry.
+    /// registry. Metric slots are interned once here; the per-submission
+    /// hot path is then a slot-indexed add with no lookup or allocation.
     pub fn set_telemetry(&mut self, tele: Telemetry) {
-        self.tele = tele;
-    }
-
-    fn site_label(&self) -> String {
-        format!("site{}", self.site.0)
+        let label = format!("site{}", self.site.0);
+        self.c_refused = tele.register_counter("gram", "refused", label.clone());
+        self.c_accepted = tele.register_counter("gram", "accepted", label.clone());
+        self.h_load_at_accept =
+            tele.register_histogram("gram", "load_at_accept", label, &LOAD_BOUNDS);
     }
 
     /// Jobs currently managed.
@@ -135,32 +144,22 @@ impl Gatekeeper {
         now: SimTime,
     ) -> Result<(), GramError> {
         if !self.up {
-            self.tele
-                .counter_add("gram", "refused", self.site_label(), 1);
+            self.c_refused.add(1);
             return Err(GramError::ServiceDown);
         }
         let load = self.load_one_min(now);
         self.peak_load = self.peak_load.max(load);
         if load > self.overload_threshold {
             self.refused += 1;
-            self.tele
-                .counter_add("gram", "refused", self.site_label(), 1);
+            self.c_refused.add(1);
             return Err(GramError::Overloaded { load });
         }
         self.submissions.push_back(now);
         self.managed.insert(job, staging_factor);
         self.managed_weight += staging_factor;
         self.accepted += 1;
-        self.tele
-            .counter_add("gram", "accepted", self.site_label(), 1);
-        static LOAD_BOUNDS: [f64; 6] = [25.0, 50.0, 100.0, 225.0, 450.0, 900.0];
-        self.tele.observe(
-            "gram",
-            "load_at_accept",
-            self.site_label(),
-            load,
-            &LOAD_BOUNDS,
-        );
+        self.c_accepted.add(1);
+        self.h_load_at_accept.observe(load);
         Ok(())
     }
 

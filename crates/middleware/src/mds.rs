@@ -14,7 +14,7 @@
 //! so stale sites drop out of brokering.
 
 use grid3_simkit::ids::SiteId;
-use grid3_simkit::telemetry::Telemetry;
+use grid3_simkit::telemetry::{Counter, Telemetry};
 use grid3_simkit::time::{SimDuration, SimTime};
 use grid3_simkit::units::{Bandwidth, Bytes};
 use grid3_site::cluster::Site;
@@ -162,6 +162,11 @@ pub struct MdsDirectory {
     /// record ages out past the TTL like a genuinely wedged GRIS.
     frozen: Vec<bool>,
     tele: Telemetry,
+    /// Pre-interned `published` counters, indexed by site; grown on
+    /// first publish from a site.
+    c_published: Vec<Counter>,
+    /// Pre-interned `queries` counters, indexed by `Vo::index()`.
+    c_queries: Vec<Counter>,
 }
 
 impl MdsDirectory {
@@ -178,11 +183,20 @@ impl MdsDirectory {
             ttl,
             frozen: Vec::new(),
             tele: Telemetry::disabled(),
+            c_published: Vec::new(),
+            c_queries: Vec::new(),
         }
     }
 
-    /// Attach the grid-wide instrumentation handle.
+    /// Attach the grid-wide instrumentation handle. The six per-VO query
+    /// counters are interned here; per-site publish counters are interned
+    /// on first publish.
     pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.c_queries = Vo::ALL
+            .iter()
+            .map(|vo| tele.register_counter("mds", "queries", format!("{vo:?}").to_lowercase()))
+            .collect();
+        self.c_published.clear();
         self.tele = tele;
     }
 
@@ -198,9 +212,16 @@ impl MdsDirectory {
         if self.is_frozen(record.site) {
             return;
         }
-        self.tele
-            .counter_add("mds", "published", format!("site{}", record.site.0), 1);
         let idx = record.site.index();
+        while self.c_published.len() <= idx {
+            let i = self.c_published.len();
+            self.c_published.push(self.tele.register_counter(
+                "mds",
+                "published",
+                format!("site{i}"),
+            ));
+        }
+        self.c_published[idx].add(1);
         if idx >= self.records.len() {
             self.records.resize_with(idx + 1, || None);
         }
@@ -275,8 +296,9 @@ impl MdsDirectory {
 
     /// Fresh records admitting `vo`, the broker's candidate list.
     pub fn candidates_for(&self, vo: Vo, now: SimTime) -> Vec<&GlueRecord> {
-        self.tele
-            .counter_add("mds", "queries", format!("{vo:?}").to_lowercase(), 1);
+        if let Some(c) = self.c_queries.get(vo.index()) {
+            c.add(1);
+        }
         self.fresh_records(now)
             .into_iter()
             .filter(|r| r.admits_vo(vo))

@@ -10,7 +10,7 @@
 //! job" (§4.4).
 
 use grid3_simkit::ids::{FileId, SiteId};
-use grid3_simkit::telemetry::Telemetry;
+use grid3_simkit::telemetry::{Counter, Telemetry};
 use grid3_simkit::units::Bytes;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -49,6 +49,11 @@ pub struct ReplicaLocationService {
     /// most don't).
     stale: BTreeSet<SiteId>,
     tele: Telemetry,
+    /// Pre-interned `registered` counters, indexed by site; grown on
+    /// first registration from a site so the per-file hot path is a
+    /// slot-indexed add.
+    c_registered: Vec<Counter>,
+    c_lookups: Counter,
 }
 
 impl ReplicaLocationService {
@@ -59,14 +64,24 @@ impl ReplicaLocationService {
 
     /// Attach the grid-wide instrumentation handle.
     pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.c_lookups = tele.register_counter("rls", "lookups", "");
+        self.c_registered.clear();
         self.tele = tele;
     }
 
     /// Register a replica of `lfn` at `site`. The PFN is derived from the
     /// site and LFN, as Grid3 conventions did. Idempotent per (lfn, site).
     pub fn register(&mut self, lfn: FileId, site: SiteId, size: Bytes) {
-        self.tele
-            .counter_add("rls", "registered", format!("site{}", site.0), 1);
+        let idx = site.index();
+        while self.c_registered.len() <= idx {
+            let i = self.c_registered.len();
+            self.c_registered.push(self.tele.register_counter(
+                "rls",
+                "registered",
+                format!("site{i}"),
+            ));
+        }
+        self.c_registered[idx].add(1);
         let pfn = format!("gsiftp://{site}/grid3/data/{lfn}");
         self.lrcs.entry(site).or_default().insert(lfn, pfn);
         self.rli.entry(lfn).or_default().insert(site);
@@ -94,7 +109,7 @@ impl ReplicaLocationService {
 
     /// Sites holding a replica of `lfn`, in site-id order (RLI query).
     pub fn locate(&self, lfn: FileId) -> Result<Vec<SiteId>, RlsError> {
-        self.tele.counter_add("rls", "lookups", "", 1);
+        self.c_lookups.add(1);
         self.rli
             .get(&lfn)
             .filter(|s| !s.is_empty())

@@ -29,6 +29,9 @@
 //! * [`telemetry`] — the grid-wide instrumentation layer: typed metrics
 //!   registry, span tracing with Chrome `trace_event` export, and
 //!   event-loop profiling hooks.
+//! * [`profiler`] — the cost-attribution profiler: dense per-cost-center
+//!   wall-time/fan-out/allocation accounting for the dispatch loop
+//!   (allocation columns require the `count-allocs` feature).
 //!
 //! Everything here is simulation-pure: no wall-clock access, no I/O.
 
@@ -38,6 +41,7 @@ pub mod dist;
 pub mod engine;
 pub mod hash;
 pub mod ids;
+pub mod profiler;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -46,7 +50,8 @@ pub mod time;
 pub mod units;
 
 pub use engine::{EventLabel, EventQueue, ScheduledEvent};
+pub use profiler::{alloc_snapshot, CostCenter, CostProfiler};
 pub use rng::{derive_seed, SimRng};
-pub use telemetry::{SpanId, SpanRecord, Telemetry};
+pub use telemetry::{Counter, Histo, SpanId, SpanRecord, Telemetry};
 pub use time::{CalendarDate, SimDuration, SimTime};
 pub use units::{Bandwidth, Bytes, CpuSeconds};

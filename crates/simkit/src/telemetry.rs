@@ -14,13 +14,24 @@
 //!
 //! * **Zero-cost when disabled.** [`Telemetry::disabled`] holds no
 //!   allocation; every recording call is a single `Option` check.
-//! * **Deterministic.** All registry maps are `BTreeMap`s, so iteration
-//!   (and hence every export) is ordered independently of hash seeds.
+//! * **Interned hot path.** Metric names are interned once at
+//!   registration into dense slot arrays; a [`Counter`] or [`Histo`]
+//!   handle records with one `RefCell` borrow and one array index — no
+//!   hashing, no tree walk, no `String` allocation. The name-keyed
+//!   [`Telemetry::counter_add`] API survives as a compatibility path
+//!   that binary-searches a sorted intern index (allocation-free on
+//!   hit) and is meant for cold call sites only.
+//! * **Deterministic.** The intern index is kept sorted by
+//!   `(subsystem, name, label)`, so every export is ordered
+//!   independently of registration order and hash seeds.
 //! * **Simulation-pure.** Timestamps are [`SimTime`]; wall-clock
 //!   events/sec is computed by the bench harness, not here.
 //! * **Bounded.** Completed spans live in a ring buffer
 //!   ([`DEFAULT_SPAN_CAPACITY`] by default); the oldest records are
-//!   dropped, and the drop count is reported, never hidden.
+//!   dropped, and the drop count is reported, never hidden. Open spans
+//!   live in a free-list slab; a [`SpanId`] packs `(generation, slot)`
+//!   so a stale or double close is a detected no-op, never a
+//!   misattribution.
 //!
 //! The handle is a shared `Rc<RefCell<…>>`, so recording works through
 //! `&self` — subsystems can instrument read-only query paths. It
@@ -104,7 +115,10 @@ impl Histogram {
     }
 }
 
-/// Opaque handle to an open span.
+/// Opaque handle to an open span. Packs `(generation, slot)`: the low 32
+/// bits index the open-span slab, the high 32 bits carry the span's
+/// monotonic id truncated to 32 bits as a reuse guard. Closing a stale
+/// or already-closed id is a no-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SpanId(u64);
 
@@ -128,8 +142,12 @@ pub struct SpanRecord {
     pub error: bool,
 }
 
+/// One slot of the open-span slab. `open == false` means the slot is on
+/// the free list; `id` doubles as the reuse guard for [`SpanId`].
 #[derive(Debug, Clone)]
-struct OpenSpan {
+struct SpanSlot {
+    id: u64,
+    open: bool,
     subsystem: &'static str,
     op: &'static str,
     job: Option<u64>,
@@ -160,17 +178,186 @@ pub struct CounterReading {
 
 #[derive(Debug, Default)]
 struct Inner {
-    counters: BTreeMap<MetricKey, u64>,
+    /// Sorted `(key → slot)` intern index for counters. Binary-searched
+    /// by the name-keyed API; handles skip it entirely.
+    counter_index: Vec<(MetricKey, u32)>,
+    /// Dense counter storage; slots are append-only and stable, so
+    /// [`Counter`] handles stay valid across later registrations.
+    counter_values: Vec<u64>,
     gauges: BTreeMap<MetricKey, f64>,
-    histograms: BTreeMap<MetricKey, Histogram>,
-    open_spans: BTreeMap<u64, OpenSpan>,
+    /// Sorted `(key → slot)` intern index for histograms.
+    hist_index: Vec<(MetricKey, u32)>,
+    hist_slots: Vec<Histogram>,
+    open_slab: Vec<SpanSlot>,
+    free_slots: Vec<u32>,
+    open_count: usize,
     spans: VecDeque<SpanRecord>,
     span_capacity: usize,
     dropped_spans: u64,
     next_span: u64,
-    dispatch: BTreeMap<&'static str, u64>,
-    depth_bins: BTreeMap<u64, DepthBin>,
+    /// Per-event-type dispatch counts in first-seen order; the label set
+    /// is a handful of `&'static str`s, so a pointer-equality linear
+    /// scan beats any tree or hash. Sorted on export.
+    dispatch: Vec<(&'static str, u64)>,
+    /// Queue-depth bins, sorted by bin index. Pop times are monotonic,
+    /// so the common case is "same bin as last" or "append".
+    depth_bins: Vec<(u64, DepthBin)>,
     depth_bin_width: SimDuration,
+}
+
+impl Inner {
+    /// Find or intern the counter `(subsystem, name, label)`, returning
+    /// its stable slot. Allocation-free when the counter already exists.
+    fn counter_slot(
+        &mut self,
+        subsystem: &'static str,
+        name: &'static str,
+        label: impl Into<String> + AsRef<str>,
+    ) -> u32 {
+        let probe = (subsystem, name, label.as_ref());
+        match self
+            .counter_index
+            .binary_search_by(|(k, _)| (k.subsystem, k.name, k.label.as_str()).cmp(&probe))
+        {
+            Ok(pos) => self.counter_index[pos].1,
+            Err(pos) => {
+                let slot = self.counter_values.len() as u32;
+                self.counter_values.push(0);
+                let key = MetricKey {
+                    subsystem,
+                    name,
+                    label: label.into(),
+                };
+                self.counter_index.insert(pos, (key, slot));
+                slot
+            }
+        }
+    }
+
+    /// Find or intern the histogram `(subsystem, name, label)`.
+    fn hist_slot(
+        &mut self,
+        subsystem: &'static str,
+        name: &'static str,
+        label: impl Into<String> + AsRef<str>,
+        bounds: &'static [f64],
+    ) -> u32 {
+        let probe = (subsystem, name, label.as_ref());
+        match self
+            .hist_index
+            .binary_search_by(|(k, _)| (k.subsystem, k.name, k.label.as_str()).cmp(&probe))
+        {
+            Ok(pos) => self.hist_index[pos].1,
+            Err(pos) => {
+                let slot = self.hist_slots.len() as u32;
+                self.hist_slots.push(Histogram::new(bounds));
+                let key = MetricKey {
+                    subsystem,
+                    name,
+                    label: label.into(),
+                };
+                self.hist_index.insert(pos, (key, slot));
+                slot
+            }
+        }
+    }
+}
+
+/// A pre-registered counter: one `RefCell` borrow plus one array index
+/// per [`Counter::add`], no name lookup. Obtained from
+/// [`Telemetry::register_counter`]; a handle from a disabled `Telemetry`
+/// is inert. Clones share the same slot. Serializes as `null` and
+/// deserializes as inert, so serde-derived structs can embed it.
+#[derive(Clone, Default)]
+pub struct Counter(Option<(Rc<RefCell<Inner>>, u32)>);
+
+impl Counter {
+    /// An inert handle (what a disabled `Telemetry` hands out).
+    pub fn disabled() -> Self {
+        Counter(None)
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Add `delta` to the counter.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if let Some((inner, slot)) = &self.0 {
+            inner.borrow_mut().counter_values[*slot as usize] += delta;
+        }
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some((_, slot)) => write!(f, "Counter(slot {slot})"),
+            None => write!(f, "Counter(disabled)"),
+        }
+    }
+}
+
+impl serde::Serialize for Counter {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for Counter {
+    fn from_value(_v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Counter::disabled())
+    }
+}
+
+/// A pre-registered fixed-bucket histogram: one `RefCell` borrow plus
+/// one array index per [`Histo::observe`]. Obtained from
+/// [`Telemetry::register_histogram`]; inert when the `Telemetry` was
+/// disabled. Serializes as `null`, deserializes as inert.
+#[derive(Clone, Default)]
+pub struct Histo(Option<(Rc<RefCell<Inner>>, u32)>);
+
+impl Histo {
+    /// An inert handle (what a disabled `Telemetry` hands out).
+    pub fn disabled() -> Self {
+        Histo(None)
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Observe `value` into the histogram.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        if let Some((inner, slot)) = &self.0 {
+            inner.borrow_mut().hist_slots[*slot as usize].observe(value);
+        }
+    }
+}
+
+impl std::fmt::Debug for Histo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some((_, slot)) => write!(f, "Histo(slot {slot})"),
+            None => write!(f, "Histo(disabled)"),
+        }
+    }
+}
+
+impl serde::Serialize for Histo {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for Histo {
+    fn from_value(_v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Histo::disabled())
+    }
 }
 
 /// The shared instrumentation handle. Cloning is cheap and every clone
@@ -184,7 +371,7 @@ impl std::fmt::Debug for Telemetry {
             Some(inner) => write!(
                 f,
                 "Telemetry(enabled, {} counters, {} spans)",
-                inner.borrow().counters.len(),
+                inner.borrow().counter_index.len(),
                 inner.borrow().spans.len()
             ),
             None => write!(f, "Telemetry(disabled)"),
@@ -231,23 +418,64 @@ impl Telemetry {
         self.0.is_some()
     }
 
+    // ----- registration ----------------------------------------------
+
+    /// Intern the counter `(subsystem, name, label)` and return a dense
+    /// [`Counter`] handle for it. Register once at wiring time, then
+    /// [`Counter::add`] from the hot path — it costs an array index, not
+    /// a name lookup. The handle from a disabled `Telemetry` is inert.
+    pub fn register_counter(
+        &self,
+        subsystem: &'static str,
+        name: &'static str,
+        label: impl Into<String> + AsRef<str>,
+    ) -> Counter {
+        match &self.0 {
+            Some(inner) => {
+                let slot = inner.borrow_mut().counter_slot(subsystem, name, label);
+                Counter(Some((Rc::clone(inner), slot)))
+            }
+            None => Counter(None),
+        }
+    }
+
+    /// Intern the histogram `(subsystem, name, label)` with fixed
+    /// `bounds` and return a dense [`Histo`] handle for it.
+    pub fn register_histogram(
+        &self,
+        subsystem: &'static str,
+        name: &'static str,
+        label: impl Into<String> + AsRef<str>,
+        bounds: &'static [f64],
+    ) -> Histo {
+        match &self.0 {
+            Some(inner) => {
+                let slot = inner.borrow_mut().hist_slot(subsystem, name, label, bounds);
+                Histo(Some((Rc::clone(inner), slot)))
+            }
+            None => Histo(None),
+        }
+    }
+
     // ----- counters / gauges / histograms ----------------------------
 
     /// Add `delta` to the counter `(subsystem, name, label)`.
+    ///
+    /// Compatibility path for cold call sites: binary-searches the
+    /// intern index (allocation-free when the counter exists). Hot call
+    /// sites should hold a [`Counter`] from
+    /// [`Telemetry::register_counter`] instead.
     pub fn counter_add(
         &self,
         subsystem: &'static str,
         name: &'static str,
-        label: impl Into<String>,
+        label: impl Into<String> + AsRef<str>,
         delta: u64,
     ) {
         if let Some(inner) = &self.0 {
-            let key = MetricKey {
-                subsystem,
-                name,
-                label: label.into(),
-            };
-            *inner.borrow_mut().counters.entry(key).or_insert(0) += delta;
+            let mut inner = inner.borrow_mut();
+            let slot = inner.counter_slot(subsystem, name, label);
+            inner.counter_values[slot as usize] += delta;
         }
     }
 
@@ -256,12 +484,13 @@ impl Telemetry {
         self.0
             .as_ref()
             .and_then(|inner| {
+                let inner = inner.borrow();
+                let probe = (subsystem, name, label);
                 inner
-                    .borrow()
-                    .counters
-                    .iter()
-                    .find(|(k, _)| k.subsystem == subsystem && k.name == name && k.label == label)
-                    .map(|(_, v)| *v)
+                    .counter_index
+                    .binary_search_by(|(k, _)| (k.subsystem, k.name, k.label.as_str()).cmp(&probe))
+                    .ok()
+                    .map(|pos| inner.counter_values[inner.counter_index[pos].1 as usize])
             })
             .unwrap_or(0)
     }
@@ -271,12 +500,12 @@ impl Telemetry {
         self.0
             .as_ref()
             .map(|inner| {
+                let inner = inner.borrow();
                 inner
-                    .borrow()
-                    .counters
+                    .counter_index
                     .iter()
                     .filter(|(k, _)| k.subsystem == subsystem && k.name == name)
-                    .map(|(_, v)| *v)
+                    .map(|(_, slot)| inner.counter_values[*slot as usize])
                     .sum()
             })
             .unwrap_or(0)
@@ -302,27 +531,20 @@ impl Telemetry {
 
     /// Observe `value` into the fixed-bucket histogram
     /// `(subsystem, name, label)`. `bounds` fixes the buckets on first
-    /// use; later calls must pass the same slice.
+    /// use; later calls must pass the same slice. Hot call sites should
+    /// hold a [`Histo`] from [`Telemetry::register_histogram`] instead.
     pub fn observe(
         &self,
         subsystem: &'static str,
         name: &'static str,
-        label: impl Into<String>,
+        label: impl Into<String> + AsRef<str>,
         value: f64,
         bounds: &'static [f64],
     ) {
         if let Some(inner) = &self.0 {
-            let key = MetricKey {
-                subsystem,
-                name,
-                label: label.into(),
-            };
-            inner
-                .borrow_mut()
-                .histograms
-                .entry(key)
-                .or_insert_with(|| Histogram::new(bounds))
-                .observe(value);
+            let mut inner = inner.borrow_mut();
+            let slot = inner.hist_slot(subsystem, name, label, bounds);
+            inner.hist_slots[slot as usize].observe(value);
         }
     }
 
@@ -334,12 +556,13 @@ impl Telemetry {
         label: &str,
     ) -> Option<HistogramSnapshot> {
         self.0.as_ref().and_then(|inner| {
+            let inner = inner.borrow();
+            let probe = (subsystem, name, label);
             inner
-                .borrow()
-                .histograms
-                .iter()
-                .find(|(k, _)| k.subsystem == subsystem && k.name == name && k.label == label)
-                .map(|(_, h)| h.snapshot())
+                .hist_index
+                .binary_search_by(|(k, _)| (k.subsystem, k.name, k.label.as_str()).cmp(&probe))
+                .ok()
+                .map(|pos| inner.hist_slots[inner.hist_index[pos].1 as usize].snapshot())
         })
     }
 
@@ -348,15 +571,15 @@ impl Telemetry {
         self.0
             .as_ref()
             .map(|inner| {
+                let inner = inner.borrow();
                 inner
-                    .borrow()
-                    .counters
+                    .counter_index
                     .iter()
-                    .map(|(k, v)| CounterReading {
+                    .map(|(k, slot)| CounterReading {
                         subsystem: k.subsystem,
                         name: k.name,
                         label: k.label.clone(),
-                        value: *v,
+                        value: inner.counter_values[*slot as usize],
                     })
                     .collect()
             })
@@ -380,16 +603,26 @@ impl Telemetry {
         let mut inner = inner.borrow_mut();
         let id = inner.next_span;
         inner.next_span += 1;
-        inner.open_spans.insert(
+        let slot = SpanSlot {
             id,
-            OpenSpan {
-                subsystem,
-                op,
-                job,
-                begin: now,
-            },
-        );
-        SpanId(id)
+            open: true,
+            subsystem,
+            op,
+            job,
+            begin: now,
+        };
+        let idx = match inner.free_slots.pop() {
+            Some(idx) => {
+                inner.open_slab[idx as usize] = slot;
+                idx
+            }
+            None => {
+                inner.open_slab.push(slot);
+                (inner.open_slab.len() - 1) as u32
+            }
+        };
+        inner.open_count += 1;
+        SpanId(((id & 0xFFFF_FFFF) << 32) | u64::from(idx))
     }
 
     /// Close a span successfully at `now`.
@@ -405,18 +638,28 @@ impl Telemetry {
     fn close_span(&self, now: SimTime, id: SpanId, error: bool) {
         let Some(inner) = &self.0 else { return };
         let mut inner = inner.borrow_mut();
-        let Some(open) = inner.open_spans.remove(&id.0) else {
+        let idx = (id.0 & 0xFFFF_FFFF) as usize;
+        let guard = (id.0 >> 32) as u32;
+        // Out-of-range slot (including the disabled sentinel), a slot on
+        // the free list, or a generation mismatch: stale id, ignore.
+        let Some(slot) = inner.open_slab.get_mut(idx) else {
             return;
         };
+        if !slot.open || (slot.id & 0xFFFF_FFFF) as u32 != guard {
+            return;
+        }
+        slot.open = false;
         let record = SpanRecord {
-            id: id.0,
-            subsystem: open.subsystem,
-            op: open.op,
-            job: open.job,
-            begin: open.begin,
+            id: slot.id,
+            subsystem: slot.subsystem,
+            op: slot.op,
+            job: slot.job,
+            begin: slot.begin,
             end: now,
             error,
         };
+        inner.free_slots.push(idx as u32);
+        inner.open_count -= 1;
         if inner.spans.len() >= inner.span_capacity {
             inner.spans.pop_front();
             inner.dropped_spans += 1;
@@ -436,7 +679,7 @@ impl Telemetry {
     pub fn open_span_count(&self) -> usize {
         self.0
             .as_ref()
-            .map(|inner| inner.borrow().open_spans.len())
+            .map(|inner| inner.borrow().open_count)
             .unwrap_or(0)
     }
 
@@ -456,11 +699,66 @@ impl Telemetry {
     pub fn record_dispatch(&self, now: SimTime, label: &'static str, queue_depth: usize) {
         let Some(inner) = &self.0 else { return };
         let mut inner = inner.borrow_mut();
-        *inner.dispatch.entry(label).or_insert(0) += 1;
+        // The label set is a few dozen static strings; a pointer-equality
+        // scan is branch-predictable and allocation-free.
+        if let Some(entry) = inner
+            .dispatch
+            .iter_mut()
+            .find(|(l, _)| std::ptr::eq(*l, label) || *l == label)
+        {
+            entry.1 += 1;
+        } else {
+            inner.dispatch.push((label, 1));
+        }
+
         let width = inner.depth_bin_width.as_micros().max(1);
-        let bin = inner.depth_bins.entry(now.as_micros() / width).or_default();
-        bin.pops += 1;
-        bin.max_depth = bin.max_depth.max(queue_depth as u64);
+        let idx = now.as_micros() / width;
+        let depth = queue_depth as u64;
+        match inner.depth_bins.last_mut() {
+            Some(last) if last.0 == idx => {
+                last.1.pops += 1;
+                last.1.max_depth = last.1.max_depth.max(depth);
+            }
+            Some(last) if last.0 < idx => {
+                inner.depth_bins.push((
+                    idx,
+                    DepthBin {
+                        pops: 1,
+                        max_depth: depth,
+                    },
+                ));
+            }
+            None => {
+                inner.depth_bins.push((
+                    idx,
+                    DepthBin {
+                        pops: 1,
+                        max_depth: depth,
+                    },
+                ));
+            }
+            Some(_) => {
+                // Time went backwards relative to the newest bin (only
+                // synthetic callers do this); keep the vec sorted.
+                match inner.depth_bins.binary_search_by_key(&idx, |b| b.0) {
+                    Ok(pos) => {
+                        let bin = &mut inner.depth_bins[pos].1;
+                        bin.pops += 1;
+                        bin.max_depth = bin.max_depth.max(depth);
+                    }
+                    Err(pos) => inner.depth_bins.insert(
+                        pos,
+                        (
+                            idx,
+                            DepthBin {
+                                pops: 1,
+                                max_depth: depth,
+                            },
+                        ),
+                    ),
+                }
+            }
+        }
     }
 
     /// Dispatch counts per event type, deterministically ordered by label.
@@ -468,12 +766,9 @@ impl Telemetry {
         self.0
             .as_ref()
             .map(|inner| {
-                inner
-                    .borrow()
-                    .dispatch
-                    .iter()
-                    .map(|(k, v)| (*k, *v))
-                    .collect()
+                let mut all: Vec<(&'static str, u64)> = inner.borrow().dispatch.clone();
+                all.sort_by(|a, b| a.0.cmp(b.0));
+                all
             })
             .unwrap_or_default()
     }
@@ -602,11 +897,12 @@ impl Telemetry {
         }
         out.push_str("],\"histograms\":[");
         if let Some(inner) = &self.0 {
-            for (i, (k, h)) in inner.borrow().histograms.iter().enumerate() {
+            let inner = inner.borrow();
+            for (i, (k, slot)) in inner.hist_index.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
-                let snap = h.snapshot();
+                let snap = inner.hist_slots[*slot as usize].snapshot();
                 let _ = write!(
                     out,
                     "{{\"subsystem\":\"{}\",\"name\":\"{}\",\"label\":\"{}\",\
@@ -673,6 +969,35 @@ mod tests {
     }
 
     #[test]
+    fn registered_counter_handle_shares_the_slot() {
+        let t = Telemetry::enabled();
+        let h = t.register_counter("gram", "accepted", "site0");
+        assert!(h.is_enabled());
+        h.add(2);
+        // Name-keyed adds land in the same interned slot.
+        t.counter_add("gram", "accepted", "site0", 1);
+        h.clone().add(4);
+        assert_eq!(t.counter("gram", "accepted", "site0"), 7);
+        // Re-registering the same key returns the same slot.
+        let again = t.register_counter("gram", "accepted", "site0");
+        again.add(1);
+        assert_eq!(t.counter("gram", "accepted", "site0"), 8);
+        assert_eq!(t.counters().len(), 1);
+    }
+
+    #[test]
+    fn disabled_registration_hands_out_inert_handles() {
+        let t = Telemetry::disabled();
+        let c = t.register_counter("gram", "accepted", "site0");
+        let h = t.register_histogram("gram", "load", "", &[1.0]);
+        assert!(!c.is_enabled());
+        assert!(!h.is_enabled());
+        c.add(5);
+        h.observe(0.5);
+        assert_eq!(t.counter_total("gram", "accepted"), 0);
+    }
+
+    #[test]
     fn histogram_buckets_and_overflow() {
         static BOUNDS: [f64; 3] = [1.0, 10.0, 100.0];
         let t = Telemetry::enabled();
@@ -683,6 +1008,18 @@ mod tests {
         assert_eq!(h.counts, vec![2, 1, 1, 1]);
         assert_eq!(h.count, 5);
         assert!((h.sum - 556.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registered_histogram_handle_shares_the_slot() {
+        static BOUNDS: [f64; 2] = [1.0, 10.0];
+        let t = Telemetry::enabled();
+        let h = t.register_histogram("gram", "load", "site3", &BOUNDS);
+        h.observe(0.5);
+        t.observe("gram", "load", "site3", 5.0, &BOUNDS);
+        let snap = t.histogram("gram", "load", "site3").unwrap();
+        assert_eq!(snap.counts, vec![1, 1, 0]);
+        assert_eq!(snap.count, 2);
     }
 
     #[test]
@@ -718,6 +1055,27 @@ mod tests {
     }
 
     #[test]
+    fn stale_and_double_close_are_noops() {
+        let t = Telemetry::enabled();
+        let a = t.span_enter(SimTime::EPOCH, "gram", "submit", Some(1));
+        t.span_exit(SimTime::from_secs(1), a);
+        // Double close: the slot is free, nothing happens.
+        t.span_exit(SimTime::from_secs(2), a);
+        assert_eq!(t.spans().len(), 1);
+        // The freed slot is reused by the next span; the stale id for it
+        // carries the old generation and must not close the new span.
+        let b = t.span_enter(SimTime::from_secs(3), "gram", "submit", Some(2));
+        t.span_exit(SimTime::from_secs(4), a);
+        assert_eq!(t.open_span_count(), 1);
+        t.span_exit(SimTime::from_secs(5), b);
+        assert_eq!(t.open_span_count(), 0);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].job, Some(2));
+        assert_eq!(spans[1].end, SimTime::from_secs(5));
+    }
+
+    #[test]
     fn dispatch_profile_bins_and_hottest() {
         let t = Telemetry::enabled();
         for i in 0..10 {
@@ -732,6 +1090,20 @@ mod tests {
         assert_eq!(profile.len(), 5);
         assert_eq!(profile[0].1.pops, 2);
         assert_eq!(profile[0].1.max_depth, 1);
+    }
+
+    #[test]
+    fn dispatch_handles_out_of_order_times() {
+        let t = Telemetry::enabled();
+        t.record_dispatch(SimTime::from_hours(5), "a", 1);
+        t.record_dispatch(SimTime::from_hours(2), "b", 9);
+        t.record_dispatch(SimTime::from_hours(2), "b", 3);
+        let profile = t.depth_profile();
+        assert_eq!(profile.len(), 2);
+        assert_eq!(profile[0].0, SimTime::from_hours(2));
+        assert_eq!(profile[0].1.pops, 2);
+        assert_eq!(profile[0].1.max_depth, 9);
+        assert_eq!(profile[1].0, SimTime::from_hours(5));
     }
 
     #[test]
@@ -767,5 +1139,14 @@ mod tests {
         assert_eq!(t.to_value(), serde::Value::Null);
         let back = Telemetry::from_value(&serde::Value::Null).unwrap();
         assert!(!back.is_enabled());
+
+        let c = t.register_counter("x", "y", "");
+        assert_eq!(c.to_value(), serde::Value::Null);
+        assert!(!Counter::from_value(&serde::Value::Null)
+            .unwrap()
+            .is_enabled());
+        let h = t.register_histogram("x", "z", "", &[1.0]);
+        assert_eq!(h.to_value(), serde::Value::Null);
+        assert!(!Histo::from_value(&serde::Value::Null).unwrap().is_enabled());
     }
 }

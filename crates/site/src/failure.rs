@@ -66,6 +66,17 @@ pub enum FailureEvent {
 }
 
 impl FailureEvent {
+    /// Stable incident label for journals and diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureEvent::DiskFull { .. } => "disk_full",
+            FailureEvent::ServiceCrash { .. } => "service_crash",
+            FailureEvent::NetworkCut { .. } => "network_cut",
+            FailureEvent::NightlyRollover { .. } => "nightly_rollover",
+            FailureEvent::Misconfigured { .. } => "misconfigured",
+        }
+    }
+
     /// When the incident begins.
     pub fn at(&self) -> SimTime {
         match self {

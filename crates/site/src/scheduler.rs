@@ -14,7 +14,7 @@
 
 use crate::vo::Vo;
 use grid3_simkit::ids::JobId;
-use grid3_simkit::telemetry::Telemetry;
+use grid3_simkit::telemetry::{Counter, Telemetry};
 use grid3_simkit::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -67,8 +67,8 @@ pub struct BatchScheduler {
     long_q: VecDeque<QueuedJob>,
     /// Max fraction of total slots long jobs may occupy (LSF only).
     long_cap_fraction: f64,
-    tele: Telemetry,
-    tele_label: String,
+    c_enqueued: Counter,
+    c_dispatched: Counter,
 }
 
 impl BatchScheduler {
@@ -83,16 +83,19 @@ impl BatchScheduler {
             short_q: VecDeque::new(),
             long_q: VecDeque::new(),
             long_cap_fraction: 0.5,
-            tele: Telemetry::disabled(),
-            tele_label: String::new(),
+            c_enqueued: Counter::disabled(),
+            c_dispatched: Counter::disabled(),
         }
     }
 
     /// Attach the grid-wide instrumentation handle; `label` (typically
-    /// `site<N>`) tags this scheduler's counters in the registry.
+    /// `site<N>`) tags this scheduler's counters in the registry. Slots
+    /// are interned once here so enqueue/dequeue pay a slot-indexed add
+    /// rather than a name lookup per job.
     pub fn set_telemetry(&mut self, tele: Telemetry, label: impl Into<String>) {
-        self.tele = tele;
-        self.tele_label = label.into();
+        let label = label.into();
+        self.c_enqueued = tele.register_counter("scheduler", "enqueued", label.clone());
+        self.c_dispatched = tele.register_counter("scheduler", "dispatched", label);
     }
 
     /// Set per-VO fair-share weights (Condor kind only; ignored otherwise).
@@ -129,8 +132,7 @@ impl BatchScheduler {
 
     /// Add a job to the queue.
     pub fn enqueue(&mut self, job: QueuedJob) {
-        self.tele
-            .counter_add("scheduler", "enqueued", self.tele_label.clone(), 1);
+        self.c_enqueued.add(1);
         match self.kind {
             SchedulerKind::OpenPbs => self.fifo.push_back(job),
             SchedulerKind::CondorFairShare => self.per_vo[job.vo.index()].push_back(job),
@@ -148,8 +150,7 @@ impl BatchScheduler {
     pub fn dequeue(&mut self, ctx: DispatchCtx) -> Option<QueuedJob> {
         let picked = self.dequeue_inner(ctx);
         if picked.is_some() {
-            self.tele
-                .counter_add("scheduler", "dispatched", self.tele_label.clone(), 1);
+            self.c_dispatched.add(1);
         }
         picked
     }

@@ -7,7 +7,7 @@
 //! and declare the DAG failed only when a node exhausts its retries.
 
 use crate::dag::{Dag, NodeId};
-use grid3_simkit::telemetry::Telemetry;
+use grid3_simkit::telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Lifecycle of one DAG node under DAGMan.
@@ -60,7 +60,11 @@ pub struct DagManager<T> {
     done: usize,
     failed: usize,
     total_retries: u64,
-    tele: Telemetry,
+    c_submitted: Counter,
+    c_done: Counter,
+    c_retried: Counter,
+    c_failed_permanent: Counter,
+    c_rescued: Counter,
 }
 
 impl<T> DagManager<T> {
@@ -90,13 +94,22 @@ impl<T> DagManager<T> {
             done: 0,
             failed: 0,
             total_retries: 0,
-            tele: Telemetry::disabled(),
+            c_submitted: Counter::disabled(),
+            c_done: Counter::disabled(),
+            c_retried: Counter::disabled(),
+            c_failed_permanent: Counter::disabled(),
+            c_rescued: Counter::disabled(),
         }
     }
 
-    /// Attach the grid-wide instrumentation handle.
+    /// Attach the grid-wide instrumentation handle. All five node
+    /// life-cycle counters are interned once here.
     pub fn set_telemetry(&mut self, tele: Telemetry) {
-        self.tele = tele;
+        self.c_submitted = tele.register_counter("dagman", "submitted", "");
+        self.c_done = tele.register_counter("dagman", "done", "");
+        self.c_retried = tele.register_counter("dagman", "retried", "");
+        self.c_failed_permanent = tele.register_counter("dagman", "failed_permanent", "");
+        self.c_rescued = tele.register_counter("dagman", "rescued", "");
     }
 
     /// The managed DAG.
@@ -134,7 +147,7 @@ impl<T> DagManager<T> {
         );
         self.states[node.index()] = NodeState::Active;
         self.active += 1;
-        self.tele.counter_add("dagman", "submitted", "", 1);
+        self.c_submitted.add(1);
     }
 
     /// Mark an Active node done; returns children that became Ready.
@@ -147,7 +160,7 @@ impl<T> DagManager<T> {
         self.states[node.index()] = NodeState::Done;
         self.active -= 1;
         self.done += 1;
-        self.tele.counter_add("dagman", "done", "", 1);
+        self.c_done.add(1);
         let mut released = Vec::new();
         for &c in self.dag.children(node) {
             self.unfinished_parents[c.index()] -= 1;
@@ -173,14 +186,14 @@ impl<T> DagManager<T> {
             self.retries_left[node.index()] -= 1;
             self.total_retries += 1;
             self.states[node.index()] = NodeState::Ready;
-            self.tele.counter_add("dagman", "retried", "", 1);
+            self.c_retried.add(1);
             FailureAction::Retry {
                 remaining: self.retries_left[node.index()],
             }
         } else {
             self.states[node.index()] = NodeState::Failed;
             self.failed += 1;
-            self.tele.counter_add("dagman", "failed_permanent", "", 1);
+            self.c_failed_permanent.add(1);
             FailureAction::Permanent
         }
     }
@@ -202,8 +215,7 @@ impl<T> DagManager<T> {
         }
         self.failed -= rearmed;
         if rearmed > 0 {
-            self.tele
-                .counter_add("dagman", "rescued", "", rearmed as u64);
+            self.c_rescued.add(rearmed as u64);
         }
         rearmed
     }

@@ -109,6 +109,60 @@ fn determinism_auditor_is_bit_neutral() {
 }
 
 #[test]
+fn determinism_profiler_and_ops_journal_are_bit_neutral() {
+    // The cost profiler times handlers and the ops journal records
+    // operational events, but both are observation-only: every golden
+    // hash must reproduce exactly with both enabled. This is the
+    // tentpole guarantee — "the engine explains where its time goes"
+    // without moving a single simulated byte.
+    for (scenario, seed, want) in GOLDEN {
+        let artifacts = config(scenario, seed)
+            .with_profile(true)
+            .with_ops_journal(true)
+            .run_full();
+        let got = fnv1a64(artifacts.report.to_json().as_bytes());
+        assert_eq!(
+            got, want,
+            "{scenario} seed {seed}: profiler/ops journal perturbed the run \
+             (got 0x{got:016x}, want 0x{want:016x})"
+        );
+        // The instrumented run really did profile: every dispatch — timed
+        // queue pops plus the immediates they fanned out — is attributed
+        // to exactly one cost center.
+        let profile = artifacts.profile.expect("profiling was enabled");
+        let attributed: u64 = profile.stats().iter().map(|s| s.events).sum();
+        let fanout: u64 = profile.stats().iter().map(|s| s.fanout).sum();
+        assert_eq!(
+            attributed,
+            artifacts.events_processed + fanout,
+            "{scenario} seed {seed}: cost attribution lost events"
+        );
+    }
+}
+
+#[test]
+fn determinism_ops_journal_round_trips_as_jsonl() {
+    // The chaos scenario exercises every journal record kind family:
+    // fault injections, tickets, suspensions, reinstates, storms.
+    let artifacts = config("sc2003_chaos", 2003)
+        .with_ops_journal(true)
+        .run_full();
+    let records = artifacts.ops.records();
+    assert!(!records.is_empty(), "chaos month produced no ops records");
+    // Timestamps are non-decreasing (the journal is an event-order log).
+    for pair in records.windows(2) {
+        assert!(pair[0].at <= pair[1].at, "journal out of order");
+    }
+    // Every line of the JSONL export parses back to the identical record.
+    let jsonl = artifacts.ops.to_jsonl();
+    let mut parsed = Vec::new();
+    for line in jsonl.lines() {
+        parsed.push(grid3_core::ops::OpsRecord::from_json_line(line).expect("journal line parses"));
+    }
+    assert_eq!(parsed, records, "JSONL round trip changed the journal");
+}
+
+#[test]
 fn determinism_seeds_actually_differ() {
     // Guard against the degenerate "hash matches because the report
     // ignores the seed" failure mode.
