@@ -20,7 +20,10 @@
 use grid3_middleware::mds::{GlueRecord, MdsDirectory};
 use grid3_simkit::ids::SiteId;
 use grid3_simkit::rng::SimRng;
+use grid3_simkit::time::{SimDuration, SimTime};
+use grid3_simkit::units::Bytes;
 use grid3_site::job::JobSpec;
+use grid3_site::vo::Vo;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
@@ -83,6 +86,138 @@ impl RankCache {
     pub fn order(&self) -> &[SiteId] {
         &self.order
     }
+}
+
+/// Bit over [`Vo::ALL`] for one VO.
+#[inline]
+fn vo_bit(vo: Vo) -> u8 {
+    1u8 << vo.index()
+}
+
+/// An epoch-keyed struct-of-arrays mirror of the MDS directory: the
+/// per-placement hot path reads dense scalar columns instead of chasing
+/// `GlueRecord` pointers, and carries the global rank position of every
+/// record so ranked selection needs no per-job sort.
+///
+/// Rows sit in ascending site-id order — exactly the order
+/// [`MdsDirectory::fresh_records`] yields — so index-based selection
+/// over a filtered row subset is bit-identical to the reference
+/// broker's record filtering. Rebuilt once per [`MdsDirectory::epoch`]
+/// into retained buffers (zero steady-state allocation); the TTL is
+/// cached too, which is sound because `set_ttl` also bumps the epoch.
+#[derive(Debug, Clone, Default)]
+pub struct SiteTable {
+    epoch: Option<u64>,
+    ttl: SimDuration,
+    /// Every published site, best-ranked first (the [`RankCache`] order).
+    order: Vec<SiteId>,
+    // --- dense columns, ascending site order ---
+    site: Vec<SiteId>,
+    timestamp: Vec<SimTime>,
+    /// VOs the record admits, as bits over [`Vo::ALL`] (`allowed_vos:
+    /// None` ⇒ all bits set).
+    admit_mask: Vec<u8>,
+    /// The owning VO as a one-bit mask (0 = no owner).
+    owner_mask: Vec<u8>,
+    outbound: Vec<bool>,
+    se_free: Vec<Bytes>,
+    max_walltime: Vec<SimDuration>,
+    /// Position of this row's site in `order`.
+    rank_pos: Vec<u32>,
+    /// Scratch for inverting `order` into `rank_pos`, dense by site
+    /// index; retained across refreshes.
+    pos_scratch: Vec<u32>,
+}
+
+impl SiteTable {
+    /// An empty table; the first [`SiteTable::refresh`] populates it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Revalidate against the directory: one integer compare when the
+    /// epoch is unchanged, a full re-score into retained buffers when
+    /// it moved.
+    pub fn refresh(&mut self, mds: &MdsDirectory) {
+        if self.epoch == Some(mds.epoch()) {
+            return;
+        }
+        self.ttl = mds.ttl();
+        let mut records: Vec<&GlueRecord> = mds.all_records().collect();
+        records.sort_by(|a, b| rank_order(a, b));
+        self.order.clear();
+        self.order.extend(records.iter().map(|r| r.site));
+        self.pos_scratch.clear();
+        let max_idx = self
+            .order
+            .iter()
+            .map(|s| s.index())
+            .max()
+            .map_or(0, |m| m + 1);
+        self.pos_scratch.resize(max_idx, u32::MAX);
+        for (pos, s) in self.order.iter().enumerate() {
+            self.pos_scratch[s.index()] = pos as u32;
+        }
+        self.site.clear();
+        self.timestamp.clear();
+        self.admit_mask.clear();
+        self.owner_mask.clear();
+        self.outbound.clear();
+        self.se_free.clear();
+        self.max_walltime.clear();
+        self.rank_pos.clear();
+        for r in mds.all_records() {
+            self.site.push(r.site);
+            self.timestamp.push(r.timestamp);
+            self.admit_mask.push(match &r.allowed_vos {
+                None => (1u8 << Vo::ALL.len()) - 1,
+                Some(vs) => vs.iter().fold(0u8, |m, v| m | vo_bit(*v)),
+            });
+            self.owner_mask.push(r.owner_vo.map_or(0, vo_bit));
+            self.outbound.push(r.outbound_connectivity);
+            self.se_free.push(r.se_free);
+            self.max_walltime.push(r.max_walltime);
+            self.rank_pos.push(self.pos_scratch[r.site.index()]);
+        }
+        self.epoch = Some(mds.epoch());
+    }
+
+    /// Every published site, best-ranked first, as of the last refresh.
+    pub fn order(&self) -> &[SiteId] {
+        &self.order
+    }
+
+    /// Rows held (published records, fresh or stale).
+    pub fn len(&self) -> usize {
+        self.site.len()
+    }
+
+    /// True when no records were published as of the last refresh.
+    pub fn is_empty(&self) -> bool {
+        self.site.is_empty()
+    }
+}
+
+/// Reusable per-placement buffers for [`Broker::select_table`]: row
+/// indices of the eligible set plus a backup for the veto fallbacks.
+/// Owned by the caller so steady-state selection allocates nothing.
+///
+/// Also caches the *static* row set — rows passing the job-independent
+/// filters (record freshness and the topology's online view). Both
+/// inputs are piecewise-constant: freshness only changes at a cached
+/// record's `timestamp + ttl` (stale records cannot refresh without an
+/// epoch bump), and the online view only changes at day boundaries. The
+/// cache is therefore keyed by `(epoch, day)` and expires at the
+/// earliest cached freshness deadline, so between monitor ticks the
+/// per-placement scan touches only the static rows.
+#[derive(Debug, Clone, Default)]
+pub struct SelectScratch {
+    eligible: Vec<u32>,
+    saved: Vec<u32>,
+    static_rows: Vec<u32>,
+    static_epoch: Option<u64>,
+    static_day: u64,
+    static_valid_until: SimTime,
 }
 
 /// Broker configuration.
@@ -282,6 +417,141 @@ impl Broker {
         debug_assert!(false, "rank cache did not cover the eligible set");
         eligible.sort_by(|a, b| rank_order(a, b));
         Some(eligible[target].site)
+    }
+
+    /// [`Broker::select_filtered`] over the struct-of-arrays
+    /// [`SiteTable`] — the allocation-free hot path.
+    ///
+    /// Freshness (against the table's cached TTL) and the caller's
+    /// `online` view are applied here rather than by pre-filtering a
+    /// record vector, so the whole selection touches only dense scalar
+    /// columns and the caller-owned `scratch` buffers. The RNG draw
+    /// sequence is exactly the reference broker's: the same
+    /// `chance`/`below` calls, whose arguments depend only on
+    /// eligible-set membership — which this path preserves row for row.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select_table(
+        &self,
+        spec: &JobSpec,
+        vo_affinity: f64,
+        table: &SiteTable,
+        now: SimTime,
+        online: impl Fn(SiteId) -> bool,
+        banned: impl Fn(SiteId) -> bool,
+        scratch: &mut SelectScratch,
+        rng: &mut SimRng,
+    ) -> Option<SiteId> {
+        let vo = vo_bit(spec.class.vo());
+        let need = spec.input_bytes + spec.output_bytes + spec.scratch_bytes;
+        // Revalidate the static-row cache (see [`SelectScratch`]): rows
+        // passing the job-independent filters. Within one `(epoch, day)`
+        // a fresh row can only *leave* the set — at `timestamp + ttl` —
+        // so expiring the cache at the earliest such deadline keeps its
+        // membership exact, and with it the RNG draw sequence.
+        let day = now.day_index();
+        if scratch.static_epoch != table.epoch
+            || scratch.static_day != day
+            || now > scratch.static_valid_until
+        {
+            scratch.static_rows.clear();
+            let mut valid_until = SimTime::from_micros(u64::MAX);
+            for i in 0..table.site.len() {
+                if now.since(table.timestamp[i]) <= table.ttl && online(table.site[i]) {
+                    valid_until = valid_until.min(table.timestamp[i] + table.ttl);
+                    scratch.static_rows.push(i as u32);
+                }
+            }
+            scratch.static_epoch = table.epoch;
+            scratch.static_day = day;
+            scratch.static_valid_until = valid_until;
+        }
+        scratch.eligible.clear();
+        for &row in &scratch.static_rows {
+            let i = row as usize;
+            if table.admit_mask[i] & vo != 0                         // VO admission
+                && (!spec.needs_outbound || table.outbound[i])       // criterion 1
+                && need <= table.se_free[i]                          // criterion 2
+                && spec.requested_walltime <= table.max_walltime[i]
+            // criterion 3
+            {
+                scratch.eligible.push(row);
+            }
+        }
+        if scratch.eligible.is_empty() {
+            return None;
+        }
+
+        // Health veto, with all-banned fallback: drop banned rows only
+        // when the veto is partial — all-banned keeps the full set, and
+        // none-banned (every baseline placement) touches nothing.
+        let n_banned = scratch
+            .eligible
+            .iter()
+            .filter(|&&i| banned(table.site[i as usize]))
+            .count();
+        if n_banned > 0 && n_banned < scratch.eligible.len() {
+            scratch
+                .eligible
+                .retain(|&i| !banned(table.site[i as usize]));
+        }
+
+        // Soft preference: own-VO sites (keep the full set when none).
+        if rng.chance(vo_affinity) {
+            let n_own = scratch
+                .eligible
+                .iter()
+                .filter(|&&i| table.owner_mask[i as usize] == vo)
+                .count();
+            if n_own > 0 && n_own < scratch.eligible.len() {
+                scratch
+                    .eligible
+                    .retain(|&i| table.owner_mask[i as usize] == vo);
+            }
+        }
+
+        // Favorite path: rows are in ascending site order, so indexing
+        // the eligible list is the reference path's sorted `by_id` walk.
+        if rng.chance(self.favorite_bias) {
+            let salt = rng.below(2);
+            let idx = (spec.user.0 as usize)
+                .wrapping_mul(2_654_435_761)
+                .wrapping_add(salt * 97)
+                % scratch.eligible.len();
+            return Some(table.site[scratch.eligible[idx] as usize]);
+        }
+
+        // Ranked path: the reference broker sorts the eligible subset by
+        // `rank_order` and reads slot `target`; restricting a total
+        // order to a subset preserves relative order, so that slot holds
+        // the eligible row with the `target`-th smallest global rank
+        // position — found in one pass (rank positions are unique).
+        let k = self.spread.max(1).min(scratch.eligible.len());
+        let target = rng.below(k);
+        const SMALL_K: usize = 8;
+        if k <= SMALL_K {
+            let mut best = [u32::MAX; SMALL_K];
+            for &i in &scratch.eligible {
+                let rp = table.rank_pos[i as usize];
+                if rp >= best[k - 1] {
+                    continue;
+                }
+                let mut j = k - 1;
+                while j > 0 && best[j - 1] > rp {
+                    best[j] = best[j - 1];
+                    j -= 1;
+                }
+                best[j] = rp;
+            }
+            return Some(table.order[best[target] as usize]);
+        }
+        // Oversized spread (not a shipped configuration): select via a
+        // sort of the rank positions in the retained buffer.
+        scratch.saved.clear();
+        scratch
+            .saved
+            .extend(scratch.eligible.iter().map(|&i| table.rank_pos[i as usize]));
+        scratch.saved.sort_unstable();
+        Some(table.order[scratch.saved[target] as usize])
     }
 }
 
@@ -502,6 +772,75 @@ mod tests {
             let fast =
                 broker.select_ranked(&s, affinity, &refs, cache.order(), &mut fast_rng, banned);
             let reference = broker.select_filtered(&s, affinity, &refs, &mut ref_rng, banned);
+            assert_eq!(fast, reference, "trial {trial} diverged");
+        }
+    }
+
+    #[test]
+    fn soa_table_path_matches_reference_broker() {
+        // Same differential drive as the ranked-path test, but through
+        // the struct-of-arrays table with freshness and online checks
+        // folded into the scan: a stale record and an offline site must
+        // drop out exactly as pre-filtering drops them for the
+        // reference path.
+        let broker = Broker::default();
+        let mut records = vec![
+            record(0, 90, None),
+            record(1, 80, Some(Vo::Uscms)),
+            record(2, 80, Some(Vo::Usatlas)),
+            record(3, 70, None),
+            record(4, 5, Some(Vo::Usatlas)),
+            record(5, 90, None),
+            record(6, 60, None),
+            record(7, 55, None),
+        ];
+        records[3].wan_bandwidth = Bandwidth::from_bytes_per_sec(f64::NAN);
+        records[5].queued_jobs = 88; // headroom 2
+        records[6].timestamp = SimTime::EPOCH; // will be stale at `now`
+        records[2].allowed_vos = Some(vec![Vo::Usatlas, Vo::Ivdgl]);
+        let now = SimTime::from_mins(30);
+        for r in records.iter_mut() {
+            if r.site != SiteId(6) {
+                r.timestamp = now;
+            }
+        }
+        let mut mds = grid3_middleware::mds::MdsDirectory::with_default_ttl();
+        for r in &records {
+            mds.publish(r.clone());
+        }
+        let mut table = SiteTable::new();
+        table.refresh(&mds);
+        let offline = SiteId(7);
+        let banned = |s: SiteId| s == SiteId(0);
+        let online = |s: SiteId| s != offline;
+        // The reference path sees the same pre-filtered fresh+online set.
+        let fresh: Vec<&GlueRecord> = mds
+            .fresh_records(now)
+            .into_iter()
+            .filter(|r| online(r.site))
+            .collect();
+        let mut scratch = SelectScratch::default();
+        let mut fast_rng = SimRng::for_entity(78, 78);
+        let mut ref_rng = SimRng::for_entity(78, 78);
+        for trial in 0..300u32 {
+            let mut s = spec(if trial % 2 == 0 {
+                UserClass::Usatlas
+            } else {
+                UserClass::Ivdgl
+            });
+            s.user = UserId(trial % 7);
+            let affinity = f64::from(trial % 3) / 2.0;
+            let fast = broker.select_table(
+                &s,
+                affinity,
+                &table,
+                now,
+                online,
+                banned,
+                &mut scratch,
+                &mut fast_rng,
+            );
+            let reference = broker.select_filtered(&s, affinity, &fresh, &mut ref_rng, banned);
             assert_eq!(fast, reference, "trial {trial} diverged");
         }
     }

@@ -357,11 +357,22 @@ pub fn run_campaign(plan: &CampaignPlan) -> CampaignOutcome {
 
 /// [`run_campaign`] with a progress observer, invoked in completion
 /// order as workers finish.
+///
+/// When the Rayon pool has no real parallelism to offer (one worker —
+/// single-core hosts, `RAYON_NUM_THREADS=1`), `par_iter` still pays the
+/// job-splitting and work-stealing machinery for nothing and benches
+/// ~0.98× the plain serial loop, so the plan is dispatched to
+/// [`run_campaign_serial_observed`] instead. Both paths execute the same
+/// plan-ordered runs through the same `run_and_observe`, so the outcome
+/// is identical — asserted byte-for-byte in the tests.
 pub fn run_campaign_observed(
     plan: &CampaignPlan,
     observer: &dyn CampaignObserver,
 ) -> CampaignOutcome {
     use rayon::prelude::*;
+    if rayon::current_num_threads() <= 1 {
+        return run_campaign_serial_observed(plan, observer);
+    }
     let total = plan.len();
     let done = AtomicUsize::new(0);
     let flat: Vec<(Grid3Report, Option<CostProfiler>)> = plan
@@ -616,5 +627,21 @@ mod tests {
             assert!(v.efficiency.mean > 0.0 && v.efficiency.mean <= 1.0);
             assert!(v.total_jobs.min > 0.0);
         }
+    }
+
+    #[test]
+    fn parallel_and_serial_summaries_are_byte_identical() {
+        // The single-worker dispatch in run_campaign_observed must be a
+        // pure performance decision: whichever executor a host lands on,
+        // the serialized summary is the same byte stream. (On 1-core
+        // hosts this exercises the serial dispatch against the explicit
+        // serial path; on multi-core hosts, rayon against serial.)
+        let plan = CampaignPlan::single("base", tiny(), vec![1, 2])
+            .with_variant("srm", tiny().with_srm(true));
+        let parallel = run_campaign(&plan);
+        let serial = run_campaign_serial(&plan);
+        let parallel_json = serde_json::to_string(&parallel.summary).expect("serializes");
+        let serial_json = serde_json::to_string(&serial.summary).expect("serializes");
+        assert_eq!(parallel_json.as_bytes(), serial_json.as_bytes());
     }
 }

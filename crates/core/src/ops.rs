@@ -130,6 +130,25 @@ impl OpsJournal {
         }
     }
 
+    /// [`OpsJournal::record`] with a lazily built event: `kind` is only
+    /// invoked when the journal is enabled, so call sites whose payloads
+    /// carry `format!`/`to_string` strings cost nothing — no allocation,
+    /// no formatting — on the (default) disabled handle.
+    pub fn record_with(
+        &self,
+        at: SimTime,
+        site: Option<SiteId>,
+        kind: impl FnOnce() -> OpsEventKind,
+    ) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().push(OpsRecord {
+                at,
+                site,
+                kind: kind(),
+            });
+        }
+    }
+
     /// Records appended so far, in emission order.
     pub fn records(&self) -> Vec<OpsRecord> {
         self.0

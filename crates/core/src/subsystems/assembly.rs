@@ -326,6 +326,8 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         ops,
         immediates: Vec::new(),
         drain_pool: Vec::new(),
+        timer_pool: Vec::new(),
+        record_pool: Vec::new(),
     };
     let auditor = if cfg.audit {
         Some(crate::chaos::InvariantAuditor::new())

@@ -7,8 +7,7 @@
 //! [`BrokeringEvent::CampaignOutcome`] events emitted by the fabric's
 //! terminal funnel.
 
-use crate::broker::{Broker, RankCache};
-use grid3_middleware::mds::GlueRecord;
+use crate::broker::{Broker, SelectScratch, SiteTable};
 use grid3_monitoring::trace::TraceEvent;
 use grid3_simkit::hash::FastMap;
 use grid3_simkit::ids::{JobId, SiteId};
@@ -36,10 +35,13 @@ const RESCUE_DAG_DELAY: SimDuration = SimDuration::from_hours(2);
 /// The brokering subsystem (see the module docs).
 pub struct Brokering {
     broker: Broker,
-    /// Site ranking memoised per MDS epoch (see [`RankCache`]); spares
-    /// the broker an O(n log n) re-score on every placement between
-    /// monitor ticks.
-    rank_cache: RankCache,
+    /// Struct-of-arrays mirror of the MDS directory, memoised per MDS
+    /// epoch (see [`SiteTable`]); spares the broker an O(n log n)
+    /// re-score — and any per-placement allocation — between monitor
+    /// ticks.
+    site_table: SiteTable,
+    /// Reusable row-index buffers for [`Broker::select_table`].
+    scratch: SelectScratch,
     /// Jobs waiting out a retry backoff before re-brokering:
     /// `(spec, vo_affinity, attempts already made)`.
     retry_state: FastMap<JobId, (JobSpec, f64, u32)>,
@@ -62,7 +64,8 @@ impl Brokering {
     pub(crate) fn new(campaigns: Vec<(String, DagManager<CmsTask>)>) -> Self {
         Brokering {
             broker: Broker::default(),
-            rank_cache: RankCache::new(),
+            site_table: SiteTable::new(),
+            scratch: SelectScratch::default(),
             retry_state: FastMap::default(),
             unplaced_jobs: 0,
             campaigns,
@@ -177,45 +180,50 @@ impl Brokering {
         affinity: f64,
         attempt: u32,
     ) {
-        // Candidate records: fresh in MDS and currently online.
-        let records = fabric.center.mds.fresh_records(now);
-        let online: Vec<&GlueRecord> = records
-            .into_iter()
-            .filter(|r| fabric.topo.is_online(r.site, now))
-            .collect();
-        // The health veto from the resilience layer (empty in baseline
-        // runs, so `select_filtered` degenerates to `select`).
-        let banned: Vec<SiteId> = match &fabric.resilience {
-            Some(r) => online
-                .iter()
-                .map(|rec| rec.site)
-                .filter(|s| r.is_banned(*s, now))
-                .collect(),
-            None => Vec::new(),
-        };
-        self.rank_cache.refresh(&fabric.center.mds);
+        // The SoA mirror of the directory (rebuilt only when the MDS
+        // epoch moved); freshness, the online view and the resilience
+        // health veto (a no-op in baseline runs, so `select_table`
+        // degenerates to `select`) are applied inside the single scan.
+        self.site_table.refresh(&fabric.center.mds);
         #[cfg(debug_assertions)]
         let mut reference_rng = ctx.broker_rng.clone();
-        let selected = self.broker.select_ranked(
+        let selected = self.broker.select_table(
             &spec,
             affinity,
-            &online,
-            self.rank_cache.order(),
+            &self.site_table,
+            now,
+            |s| fabric.topo.is_online(s, now),
+            |s| {
+                fabric
+                    .resilience
+                    .as_ref()
+                    .is_some_and(|r| r.is_banned(s, now))
+            },
+            &mut self.scratch,
             &mut ctx.broker_rng,
-            |s| banned.contains(&s),
         );
         // Debug builds replay the selection through the uncached
         // reference broker on a cloned RNG — the fast path must be
         // bit-identical, not just plausible.
         #[cfg(debug_assertions)]
-        debug_assert_eq!(
-            selected,
-            self.broker
-                .select_filtered(&spec, affinity, &online, &mut reference_rng, |s| {
-                    banned.contains(&s)
-                }),
-            "rank-cache fast path diverged from the reference broker"
-        );
+        {
+            let records = fabric.center.mds.fresh_records(now);
+            let online: Vec<&grid3_middleware::mds::GlueRecord> = records
+                .into_iter()
+                .filter(|r| fabric.topo.is_online(r.site, now))
+                .collect();
+            debug_assert_eq!(
+                selected,
+                self.broker
+                    .select_filtered(&spec, affinity, &online, &mut reference_rng, |s| {
+                        fabric
+                            .resilience
+                            .as_ref()
+                            .is_some_and(|r| r.is_banned(s, now))
+                    }),
+                "SoA fast path diverged from the reference broker"
+            );
+        }
         let Some(site) = selected else {
             // An empty grid view is usually transient (MDS records expired
             // during a monitoring gap, or every candidate mid-outage):
@@ -544,10 +552,10 @@ impl Brokering {
                     *used += 1;
                     let retries = fabric.cfg.campaigns[idx].retries;
                     let rearmed = mgr.rescue(retries);
-                    ctx.telemetry.counter_add(
+                    ctx.telemetry.counter_add_with(
                         "dagman",
                         "rescue_dag",
-                        format!("campaign{idx}"),
+                        || format!("campaign{idx}"),
                         rearmed as u64,
                     );
                     ctx.ops.record(

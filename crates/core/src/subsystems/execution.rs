@@ -164,7 +164,7 @@ impl Execution {
         fabric.sites[site.index()].release(job, now);
         fabric.job_gauge.step(now, -1.0);
         ctx.telemetry
-            .counter_add("chaos", "hung_job_reaped", format!("site{}", site.0), 1);
+            .counter_add_with("chaos", "hung_job_reaped", || format!("site{}", site.0), 1);
         ctx.ops.record(
             now,
             Some(site),

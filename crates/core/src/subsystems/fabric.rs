@@ -395,9 +395,8 @@ impl GridFabric {
             transferred,
             outcome,
         };
-        ctx.emit(GridEvent::Reporting(ReportingEvent::JobFinished(Box::new(
-            record,
-        ))));
+        let boxed = ctx.boxed_record(record);
+        ctx.emit(GridEvent::Reporting(ReportingEvent::JobFinished(boxed)));
         ctx.emit(GridEvent::Fault(FaultEvent::JobOutcome(site, outcome)));
         ctx.emit(GridEvent::Brokering(BrokeringEvent::CampaignOutcome(
             job,

@@ -38,13 +38,10 @@ impl FaultHandling {
         if !fabric.topo.is_online(site, now) {
             return;
         }
-        ctx.ops.record(
-            now,
-            Some(site),
-            OpsEventKind::FaultInjected {
+        ctx.ops
+            .record_with(now, Some(site), || OpsEventKind::FaultInjected {
                 kind: incident.label().to_string(),
-            },
-        );
+            });
         match incident {
             FailureEvent::DiskFull {
                 external_bytes,
@@ -63,14 +60,11 @@ impl FaultHandling {
                     GridEvent::Fault(FaultEvent::DiskCleanup(site, consumed.taken)),
                 );
                 let ticket = fabric.center.tickets.open(site, TicketKind::DiskFull, now);
-                ctx.ops.record(
-                    now,
-                    Some(site),
-                    OpsEventKind::TicketOpened {
+                ctx.ops
+                    .record_with(now, Some(site), || OpsEventKind::TicketOpened {
                         ticket,
                         kind: format!("{:?}", TicketKind::DiskFull),
-                    },
-                );
+                    });
                 if !consumed.shortfall.is_zero() && fabric.cfg.chaos.is_some() {
                     // The incident wanted more space than the disk had:
                     // surface the shortfall as a quota-pressure ticket
@@ -80,14 +74,11 @@ impl FaultHandling {
                         .center
                         .tickets
                         .open(site, TicketKind::DiskPressure, now);
-                    ctx.ops.record(
-                        now,
-                        Some(site),
-                        OpsEventKind::TicketOpened {
+                    ctx.ops
+                        .record_with(now, Some(site), || OpsEventKind::TicketOpened {
                             ticket,
                             kind: format!("{:?}", TicketKind::DiskPressure),
-                        },
-                    );
+                        });
                 }
                 if let Some(r) = &mut fabric.resilience {
                     r.suspend(site);
@@ -116,10 +107,10 @@ impl FaultHandling {
                 fabric.fail_site_transfers(ctx, now, site, FailureCause::ServiceFailure);
                 fabric.kill_non_running(ctx, now, site, FailureCause::ServiceFailure);
                 // Detection happens via the status-probe → ticket path.
-                ctx.emit(GridEvent::Timer(
+                ctx.emit_timer(
                     now + outage,
-                    Box::new(GridEvent::Fault(FaultEvent::ServiceRestore(site))),
-                ));
+                    GridEvent::Fault(FaultEvent::ServiceRestore(site)),
+                );
             }
             FailureEvent::NetworkCut { outage, .. } => {
                 fabric.sites[site.index()].network_up = false;
@@ -130,10 +121,10 @@ impl FaultHandling {
                 }
                 fabric.fail_site_transfers(ctx, now, site, FailureCause::NetworkInterruption);
                 // Detection happens via the status-probe → ticket path.
-                ctx.emit(GridEvent::Timer(
+                ctx.emit_timer(
                     now + outage,
-                    Box::new(GridEvent::Fault(FaultEvent::NetworkRestore(site))),
-                ));
+                    GridEvent::Fault(FaultEvent::NetworkRestore(site)),
+                );
             }
             FailureEvent::NightlyRollover { .. } => {
                 let killed = fabric.sites[site.index()].nodes_down(now);
@@ -141,10 +132,10 @@ impl FaultHandling {
                     fabric.job_gauge.step(now, -1.0);
                     fabric.fail_active_job(ctx, now, b.job, FailureCause::NodeRollover);
                 }
-                ctx.emit(GridEvent::Timer(
+                ctx.emit_timer(
                     now + SimDuration::from_hours(1),
-                    Box::new(GridEvent::Fault(FaultEvent::NodesRestore(site))),
-                ));
+                    GridEvent::Fault(FaultEvent::NodesRestore(site)),
+                );
             }
             FailureEvent::Misconfigured { .. } => {
                 // Configuration drift (§6.2): the site silently falls back
@@ -181,7 +172,7 @@ impl FaultHandling {
             .record(now, Some(site), OpsEventKind::TicketResolved { ticket });
         ctx.ops.record(now, Some(site), OpsEventKind::SiteRepaired);
         ctx.telemetry
-            .counter_add("resilience", "repair", format!("site{}", site.0), 1);
+            .counter_add_with("resilience", "repair", || format!("site{}", site.0), 1);
         ctx.queue
             .schedule_at(now, GridEvent::Execution(ExecutionEvent::TryDispatch(site)));
     }
@@ -226,14 +217,11 @@ impl FaultHandling {
                 .center
                 .tickets
                 .open(site, TicketKind::FailureStorm, now);
-            ctx.ops.record(
-                now,
-                Some(site),
-                OpsEventKind::TicketOpened {
+            ctx.ops
+                .record_with(now, Some(site), || OpsEventKind::TicketOpened {
                     ticket,
                     kind: format!("{:?}", TicketKind::FailureStorm),
-                },
-            );
+                });
             ctx.ops
                 .record(now, Some(site), OpsEventKind::StormDetected { ticket });
             r.begin_repair(site, ticket);
@@ -246,7 +234,7 @@ impl FaultHandling {
                 GridEvent::Fault(FaultEvent::SiteRepaired(site)),
             );
             ctx.telemetry
-                .counter_add("resilience", "storm", format!("site{}", site.0), 1);
+                .counter_add_with("resilience", "storm", || format!("site{}", site.0), 1);
         }
     }
 }
@@ -325,15 +313,16 @@ impl Subsystem for FaultHandling {
                 if let Some(flag) = fabric.chaos.black_hole.get_mut(site.index()) {
                     *flag = true;
                 }
-                ctx.telemetry
-                    .counter_add("chaos", "black_hole", format!("site{}", site.0), 1);
-                ctx.ops.record(
-                    now,
-                    Some(site),
-                    OpsEventKind::FaultInjected {
-                        kind: "black_hole".to_string(),
-                    },
+                ctx.telemetry.counter_add_with(
+                    "chaos",
+                    "black_hole",
+                    || format!("site{}", site.0),
+                    1,
                 );
+                ctx.ops
+                    .record_with(now, Some(site), || OpsEventKind::FaultInjected {
+                        kind: "black_hole".to_string(),
+                    });
                 ctx.queue.schedule_at(
                     now + duration,
                     GridEvent::Fault(FaultEvent::ChaosBlackHoleEnd(site)),
@@ -350,15 +339,16 @@ impl Subsystem for FaultHandling {
             }
             FaultEvent::ChaosRlsStale(site, duration) => {
                 fabric.rls.mark_stale(site);
-                ctx.telemetry
-                    .counter_add("chaos", "rls_stale", format!("site{}", site.0), 1);
-                ctx.ops.record(
-                    now,
-                    Some(site),
-                    OpsEventKind::FaultInjected {
-                        kind: "rls_stale".to_string(),
-                    },
+                ctx.telemetry.counter_add_with(
+                    "chaos",
+                    "rls_stale",
+                    || format!("site{}", site.0),
+                    1,
                 );
+                ctx.ops
+                    .record_with(now, Some(site), || OpsEventKind::FaultInjected {
+                        kind: "rls_stale".to_string(),
+                    });
                 ctx.queue.schedule_at(
                     now + duration,
                     GridEvent::Fault(FaultEvent::ChaosRlsHeal(site)),
@@ -369,15 +359,16 @@ impl Subsystem for FaultHandling {
             }
             FaultEvent::ChaosMdsFreeze(site, duration) => {
                 fabric.center.mds.set_frozen(site, true);
-                ctx.telemetry
-                    .counter_add("chaos", "mds_freeze", format!("site{}", site.0), 1);
-                ctx.ops.record(
-                    now,
-                    Some(site),
-                    OpsEventKind::FaultInjected {
-                        kind: "mds_freeze".to_string(),
-                    },
+                ctx.telemetry.counter_add_with(
+                    "chaos",
+                    "mds_freeze",
+                    || format!("site{}", site.0),
+                    1,
                 );
+                ctx.ops
+                    .record_with(now, Some(site), || OpsEventKind::FaultInjected {
+                        kind: "mds_freeze".to_string(),
+                    });
                 ctx.queue.schedule_at(
                     now + duration,
                     GridEvent::Fault(FaultEvent::ChaosMdsThaw(site)),
@@ -390,15 +381,16 @@ impl Subsystem for FaultHandling {
                 if let Some(flag) = fabric.chaos.sensor_blackout.get_mut(site.index()) {
                     *flag = true;
                 }
-                ctx.telemetry
-                    .counter_add("chaos", "sensor_blackout", format!("site{}", site.0), 1);
-                ctx.ops.record(
-                    now,
-                    Some(site),
-                    OpsEventKind::FaultInjected {
-                        kind: "sensor_blackout".to_string(),
-                    },
+                ctx.telemetry.counter_add_with(
+                    "chaos",
+                    "sensor_blackout",
+                    || format!("site{}", site.0),
+                    1,
                 );
+                ctx.ops
+                    .record_with(now, Some(site), || OpsEventKind::FaultInjected {
+                        kind: "sensor_blackout".to_string(),
+                    });
                 ctx.queue.schedule_at(
                     now + duration,
                     GridEvent::Fault(FaultEvent::ChaosSensorRestore(site)),
@@ -413,15 +405,16 @@ impl Subsystem for FaultHandling {
                 if let Some(flag) = fabric.chaos.igoc_partition.get_mut(site.index()) {
                     *flag = true;
                 }
-                ctx.telemetry
-                    .counter_add("chaos", "igoc_partition", format!("site{}", site.0), 1);
-                ctx.ops.record(
-                    now,
-                    Some(site),
-                    OpsEventKind::FaultInjected {
-                        kind: "igoc_partition".to_string(),
-                    },
+                ctx.telemetry.counter_add_with(
+                    "chaos",
+                    "igoc_partition",
+                    || format!("site{}", site.0),
+                    1,
                 );
+                ctx.ops
+                    .record_with(now, Some(site), || OpsEventKind::FaultInjected {
+                        kind: "igoc_partition".to_string(),
+                    });
                 ctx.queue.schedule_at(
                     now + duration,
                     GridEvent::Fault(FaultEvent::ChaosIgocHeal(site)),

@@ -493,7 +493,31 @@ pub struct EngineCtx {
     /// swaps in a pre-warmed `Vec` instead of growing a fresh one. Depth
     /// mirrors the deepest immediate cascade seen so far (a handful).
     pub(crate) drain_pool: Vec<Vec<GridEvent>>,
+    /// Recycled [`GridEvent::Timer`] payload boxes: the router frees one
+    /// per timer it re-schedules and [`EngineCtx::emit_timer`] refills
+    /// it, so steady-state timer traffic allocates nothing. The boxes
+    /// themselves are the pooled resource — the free list exists to hand
+    /// the same heap cell back to the next emit.
+    #[allow(clippy::vec_box)]
+    pub(crate) timer_pool: Vec<Box<GridEvent>>,
+    /// Recycled [`ReportingEvent::JobFinished`] record boxes: reporting
+    /// frees one per terminal record it ingests and the fabric's
+    /// terminal funnel refills it via [`EngineCtx::boxed_record`].
+    #[allow(clippy::vec_box)]
+    pub(crate) record_pool: Vec<Box<grid3_site::job::JobRecord>>,
 }
+
+/// Bound on each event-arena free list. Pools track the steady-state
+/// in-flight count (a handful); the cap only matters after a burst, so
+/// memory pinned by a spike is released instead of held for the run.
+pub(crate) const ARENA_POOL_CAP: usize = 256;
+
+/// Capacity cap on recycled drain buffers. A chaos fan-out spike (a
+/// storm killing every queued job at once) can balloon one immediate
+/// batch to thousands of events; without the cap that buffer would pin
+/// its peak capacity for the rest of the run. Steady-state cascades are
+/// a handful of events, so the cap is far above the hot-path need.
+pub(crate) const DRAIN_BUF_CAP: usize = 64;
 
 impl EngineCtx {
     /// Emit an immediate event: routed depth-first, in emission order,
@@ -502,6 +526,62 @@ impl EngineCtx {
     /// enter the time queue, so they are not profiled as dispatches.
     pub fn emit(&mut self, event: GridEvent) {
         self.immediates.push(event);
+    }
+
+    /// Emit a trailing [`GridEvent::Timer`] wrapping `inner`, routing
+    /// the payload through the timer arena so steady-state timer traffic
+    /// reuses boxes the router already freed.
+    pub fn emit_timer(&mut self, at: SimTime, inner: GridEvent) {
+        let boxed = match self.timer_pool.pop() {
+            Some(mut b) => {
+                *b = inner;
+                b
+            }
+            None => Box::new(inner),
+        };
+        self.immediates.push(GridEvent::Timer(at, boxed));
+    }
+
+    /// Box a terminal job record through the record arena (refilled by
+    /// reporting as it ingests each record).
+    pub fn boxed_record(
+        &mut self,
+        record: grid3_site::job::JobRecord,
+    ) -> Box<grid3_site::job::JobRecord> {
+        match self.record_pool.pop() {
+            Some(mut b) => {
+                *b = record;
+                b
+            }
+            None => Box::new(record),
+        }
+    }
+
+    /// Return a drained immediates buffer to the pool, shrinking
+    /// burst-inflated buffers back to [`DRAIN_BUF_CAP`] so one fan-out
+    /// spike does not pin its peak capacity for the rest of the run.
+    pub(crate) fn recycle_drain_buf(&mut self, mut buf: Vec<GridEvent>) {
+        debug_assert!(buf.is_empty(), "recycled drain buffers must be drained");
+        if buf.capacity() > DRAIN_BUF_CAP {
+            buf.shrink_to(DRAIN_BUF_CAP);
+        }
+        self.drain_pool.push(buf);
+    }
+
+    /// Return a spent timer payload box to the arena (bounded by
+    /// [`ARENA_POOL_CAP`]).
+    pub(crate) fn recycle_timer_box(&mut self, boxed: Box<GridEvent>) {
+        if self.timer_pool.len() < ARENA_POOL_CAP {
+            self.timer_pool.push(boxed);
+        }
+    }
+
+    /// Return a spent record box to the arena (bounded by
+    /// [`ARENA_POOL_CAP`]).
+    pub(crate) fn recycle_record_box(&mut self, boxed: Box<grid3_site::job::JobRecord>) {
+        if self.record_pool.len() < ARENA_POOL_CAP {
+            self.record_pool.push(boxed);
+        }
     }
 }
 
@@ -541,6 +621,67 @@ mod tests {
                 "cost_center() disagrees with label() for {:?}",
                 e
             );
+        }
+    }
+
+    fn test_ctx() -> EngineCtx {
+        EngineCtx {
+            queue: grid3_simkit::engine::EventQueue::new(),
+            broker_rng: grid3_simkit::rng::SimRng::for_entity(1, 1),
+            fate_rng: grid3_simkit::rng::SimRng::for_entity(1, 2),
+            telemetry: Telemetry::disabled(),
+            traces: grid3_monitoring::trace::TraceStore::new(),
+            ops: crate::ops::OpsJournal::disabled(),
+            immediates: Vec::new(),
+            drain_pool: Vec::new(),
+            timer_pool: Vec::new(),
+            record_pool: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn drain_buffers_release_burst_capacity() {
+        let mut ctx = test_ctx();
+        // A chaos-burst-sized buffer comes back from the router…
+        let burst: Vec<GridEvent> = Vec::with_capacity(DRAIN_BUF_CAP * 64);
+        assert!(burst.capacity() >= DRAIN_BUF_CAP * 64);
+        ctx.recycle_drain_buf(burst);
+        // …and is shrunk to the cap instead of pinning peak capacity.
+        let recycled = ctx.drain_pool.pop().expect("buffer pooled");
+        assert!(
+            recycled.capacity() <= DRAIN_BUF_CAP,
+            "burst buffer kept capacity {} over the {DRAIN_BUF_CAP} cap",
+            recycled.capacity()
+        );
+        // Steady-state buffers pass through with their warm capacity.
+        let steady: Vec<GridEvent> = Vec::with_capacity(8);
+        ctx.recycle_drain_buf(steady);
+        assert!(ctx.drain_pool.pop().expect("buffer pooled").capacity() >= 8);
+    }
+
+    #[test]
+    fn arena_pools_stay_bounded() {
+        let mut ctx = test_ctx();
+        for _ in 0..ARENA_POOL_CAP * 2 {
+            ctx.recycle_timer_box(Box::new(GridEvent::Reporting(ReportingEvent::MonitorTick)));
+        }
+        assert_eq!(ctx.timer_pool.len(), ARENA_POOL_CAP);
+        // Round-trip: emit_timer reuses a pooled box.
+        let before = ctx.timer_pool.len();
+        ctx.emit_timer(
+            SimTime::from_secs(1),
+            GridEvent::Reporting(ReportingEvent::MonitorTick),
+        );
+        assert_eq!(ctx.timer_pool.len(), before - 1);
+        match ctx.immediates.pop() {
+            Some(GridEvent::Timer(at, inner)) => {
+                assert_eq!(at, SimTime::from_secs(1));
+                assert!(matches!(
+                    *inner,
+                    GridEvent::Reporting(ReportingEvent::MonitorTick)
+                ));
+            }
+            other => panic!("expected a timer, got {other:?}"),
         }
     }
 }

@@ -7,15 +7,13 @@
 //! bytes arrive as immediate events from the terminal funnel, never as
 //! direct writes from another subsystem.
 
-use grid3_middleware::mds::GlueRecord;
 use grid3_monitoring::acdc::AcdcJobMonitor;
-use grid3_monitoring::framework::MetricSink;
+use grid3_monitoring::framework::{MetricEvent, MetricSink};
 use grid3_monitoring::ganglia::GangliaAgent;
 use grid3_monitoring::mdviewer::MdViewer;
 use grid3_monitoring::monalisa::MonAlisaAgent;
 use grid3_simkit::time::SimTime;
 use grid3_simkit::units::Bytes;
-use grid3_site::cluster::Site;
 use grid3_site::job::JobRecord;
 use grid3_site::vo::Vo;
 
@@ -30,6 +28,9 @@ pub struct Reporting {
     pub(crate) viewer: MdViewer,
     /// Total bytes delivered over GridFTP (completed + partial).
     pub(crate) bytes_delivered: Bytes,
+    /// Reusable agent-sample buffer: one tick sweeps every site through
+    /// it, so steady-state monitoring allocates nothing per site.
+    metric_buf: Vec<MetricEvent>,
 }
 
 impl Reporting {
@@ -39,6 +40,7 @@ impl Reporting {
             acdc: AcdcJobMonitor::new(),
             viewer,
             bytes_delivered: Bytes::ZERO,
+            metric_buf: Vec::new(),
         }
     }
 
@@ -48,8 +50,10 @@ impl Reporting {
             if !fabric.topo.is_online(fabric.sites[i].id, now) {
                 continue;
             }
-            let record = GlueRecord::from_site(&fabric.sites[i], "VDT-1.1.8", now);
-            fabric.center.mds.publish(record);
+            fabric
+                .center
+                .mds
+                .publish_refresh(&fabric.sites[i], "VDT-1.1.8", now);
             // A sensor blackout (chaos fault) silences the site's
             // Ganglia/MonALISA agents; the GRIS keeps publishing — the
             // information system and the monitoring fabric fail
@@ -58,30 +62,32 @@ impl Reporting {
                 continue;
             }
             let ganglia = GangliaAgent::new(fabric.sites[i].id);
-            let events = ganglia.sample(&fabric.sites[i], now);
-            for ev in &events {
+            self.metric_buf.clear();
+            ganglia.sample_into(&fabric.sites[i], now, &mut self.metric_buf);
+            for ev in &self.metric_buf {
                 fabric.center.ganglia_web.ingest(ev);
             }
             let load = fabric.gatekeepers[i].load_one_min(now);
             let ml = MonAlisaAgent::new(fabric.sites[i].id);
-            let events = ml.sample(&fabric.sites[i], load, now);
-            for ev in &events {
+            self.metric_buf.clear();
+            ml.sample_into(&fabric.sites[i], load, now, &mut self.metric_buf);
+            for ev in &self.metric_buf {
                 fabric.center.monalisa.ingest(ev);
             }
         }
         // Status-probe escalation to tickets. Sites cut off from the IGOC
         // (chaos partition) cannot be probed; sites in sensor blackout
         // answer nothing either.
-        let online: Vec<&Site> = fabric
-            .sites
-            .iter()
-            .filter(|s| {
-                fabric.topo.is_online(s.id, now)
-                    && !fabric.chaos.is_igoc_partitioned(s.id)
-                    && !fabric.chaos.is_sensor_blackout(s.id)
-            })
-            .collect();
-        fabric.center.probe_round(online, now);
+        let topo = &fabric.topo;
+        let chaos = &fabric.chaos;
+        fabric.center.probe_round(
+            fabric.sites.iter().filter(|s| {
+                topo.is_online(s.id, now)
+                    && !chaos.is_igoc_partitioned(s.id)
+                    && !chaos.is_sensor_blackout(s.id)
+            }),
+            now,
+        );
         // Ship accumulated NetLogger events with each sweep, mirroring the
         // periodic collection of §4.7.
         fabric.drain_netlogger();
@@ -122,7 +128,12 @@ impl Subsystem for Reporting {
     ) {
         match event {
             ReportingEvent::MonitorTick => self.on_monitor_tick(ctx, fabric, now),
-            ReportingEvent::JobFinished(record) => self.on_job_finished(&record),
+            ReportingEvent::JobFinished(record) => {
+                self.on_job_finished(&record);
+                // The spent box goes back to the record arena for the
+                // terminal funnel to refill.
+                ctx.recycle_record_box(record);
+            }
             ReportingEvent::CreditTransfer(vo, bytes) => self.on_credit_transfer(now, vo, bytes),
         }
     }

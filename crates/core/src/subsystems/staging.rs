@@ -254,8 +254,12 @@ impl Staging {
             if let Some(flag) = fabric.chaos.cleanup_pending.get_mut(site.index()) {
                 *flag = true;
             }
-            ctx.telemetry
-                .counter_add("chaos", "cleanup_scheduled", format!("site{}", site.0), 1);
+            ctx.telemetry.counter_add_with(
+                "chaos",
+                "cleanup_scheduled",
+                || format!("site{}", site.0),
+                1,
+            );
             ctx.queue.schedule_at(
                 now + CLEANUP_SWEEP_DELAY,
                 GridEvent::Fault(super::FaultEvent::DiskCleanup(site, external)),

@@ -232,10 +232,58 @@ impl MdsDirectory {
         self.epoch += 1;
     }
 
+    /// Re-snapshot a site's record in place — the monitor-tick fast path.
+    ///
+    /// Observably identical to `publish(GlueRecord::from_site(site,
+    /// vdt_version, now))`, but when the site already has a record only
+    /// the dynamic fields are overwritten: the `$APP`/`$TMP`/`$DATA`
+    /// path strings are pure functions of the (immutable) site name, so
+    /// the per-tick republish of every site allocates nothing.
+    pub fn publish_refresh(&mut self, site: &Site, vdt_version: &str, now: SimTime) {
+        if self.is_frozen(site.id) {
+            return;
+        }
+        let idx = site.id.index();
+        match self.records.get_mut(idx).and_then(Option::as_mut) {
+            Some(r) if r.site_name == site.profile.name && r.vdt_version == vdt_version => {
+                while self.c_published.len() <= idx {
+                    let i = self.c_published.len();
+                    self.c_published.push(self.tele.register_counter(
+                        "mds",
+                        "published",
+                        format!("site{i}"),
+                    ));
+                }
+                self.c_published[idx].add(1);
+                r.total_cpus = site.total_slots() as u32;
+                r.free_cpus = site.free_slots() as u32;
+                r.queued_jobs = site.queued_count() as u32;
+                r.max_walltime = site.profile.policy.max_walltime;
+                r.se_free = site.storage.free();
+                r.se_total = site.storage.capacity();
+                r.wan_bandwidth = site.profile.wan_bandwidth;
+                r.outbound_connectivity = site.profile.outbound_connectivity;
+                if r.allowed_vos != site.profile.policy.allowed_vos {
+                    r.allowed_vos.clone_from(&site.profile.policy.allowed_vos);
+                }
+                r.owner_vo = site.profile.owner_vo;
+                r.timestamp = now;
+                self.epoch += 1;
+            }
+            _ => self.publish(GlueRecord::from_site(site, vdt_version, now)),
+        }
+    }
+
     /// Change the staleness TTL (must cover the GRIS republish period).
     pub fn set_ttl(&mut self, ttl: SimDuration) {
         self.ttl = ttl;
         self.epoch += 1;
+    }
+
+    /// The staleness TTL currently in force. Changing it bumps
+    /// [`MdsDirectory::epoch`], so epoch-keyed caches may hold a copy.
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
     }
 
     /// Freeze or thaw a site's GRIS (fault injection). While frozen, its

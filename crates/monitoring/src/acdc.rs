@@ -59,11 +59,48 @@ struct CompletedJob {
     cpu_days: f64,
 }
 
+/// Failure counts folded densely by [`FailureCause::index`]. The view
+/// walks [`FailureCause::ALL`] (declaration = `Ord` order) and skips
+/// zero rows, so it reads exactly like the `BTreeMap<FailureCause, u64>`
+/// it replaced — without the per-first-failure node allocation on the
+/// engine's job-finished hot path.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureBreakdown<'a>(&'a [u64; FailureCause::ALL.len()]);
+
+impl<'a> FailureBreakdown<'a> {
+    /// `(cause, count)` pairs with nonzero counts, in `Ord` order.
+    pub fn iter(self) -> impl Iterator<Item = (&'a FailureCause, &'a u64)> {
+        FailureCause::ALL
+            .iter()
+            .zip(self.0.iter())
+            .filter(|(_, n)| **n > 0)
+    }
+
+    /// Nonzero counts, in `Ord` order.
+    pub fn values(self) -> impl Iterator<Item = &'a u64> {
+        self.iter().map(|(_, n)| n)
+    }
+
+    /// Count for one cause; `None` when it never occurred (mirroring map
+    /// lookup of an absent key).
+    pub fn get(self, cause: &FailureCause) -> Option<&'a u64> {
+        let n = &self.0[cause.index()];
+        (*n > 0).then_some(n)
+    }
+}
+
+impl std::ops::Index<&FailureCause> for FailureBreakdown<'_> {
+    type Output = u64;
+    fn index(&self, cause: &FailureCause) -> &u64 {
+        &self.0[cause.index()]
+    }
+}
+
 /// The job-record database.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AcdcJobMonitor {
     completed: Vec<Vec<CompletedJob>>, // indexed by UserClass::index()
-    failures: BTreeMap<FailureCause, u64>,
+    failures: [u64; FailureCause::ALL.len()],
     failed_by_class: [u64; 7],
     total_records: u64,
     queue_waits: Vec<grid3_simkit::stats::Summary>, // indexed by class
@@ -74,7 +111,7 @@ impl AcdcJobMonitor {
     pub fn new() -> Self {
         AcdcJobMonitor {
             completed: (0..7).map(|_| Vec::new()).collect(),
-            failures: BTreeMap::new(),
+            failures: [0; FailureCause::ALL.len()],
             failed_by_class: [0; 7],
             total_records: 0,
             queue_waits: (0..7)
@@ -100,7 +137,7 @@ impl AcdcJobMonitor {
                 });
             }
             JobOutcome::Failed(cause) => {
-                *self.failures.entry(cause).or_insert(0) += 1;
+                self.failures[cause.index()] += 1;
                 self.failed_by_class[record.class.index()] += 1;
             }
         }
@@ -138,17 +175,17 @@ impl AcdcJobMonitor {
     }
 
     /// Failure counts by cause.
-    pub fn failure_breakdown(&self) -> &BTreeMap<FailureCause, u64> {
-        &self.failures
+    pub fn failure_breakdown(&self) -> FailureBreakdown<'_> {
+        FailureBreakdown(&self.failures)
     }
 
     /// Fraction of failures attributable to site problems (§6.1 reports
     /// ≈90 %).
     pub fn site_problem_fraction(&self) -> f64 {
-        let total: u64 = self.failures.values().sum();
-        let site: u64 = self
-            .failures
+        let total: u64 = self.failures.iter().sum();
+        let site: u64 = FailureCause::ALL
             .iter()
+            .zip(self.failures.iter())
             .filter(|(c, _)| c.is_site_problem())
             .map(|(_, n)| *n)
             .sum();

@@ -32,8 +32,17 @@ impl GangliaAgent {
     /// Sample the cluster: CPU load (running jobs / slots, the classic
     /// load-average proxy), free slots and disk usage.
     pub fn sample(&self, site: &Site, now: SimTime) -> Vec<MetricEvent> {
+        let mut events = Vec::new();
+        self.sample_into(site, now, &mut events);
+        events
+    }
+
+    /// [`GangliaAgent::sample`] into a caller-owned buffer (appended,
+    /// not cleared) — the monitor sweep reuses one buffer across all
+    /// sites so a tick allocates nothing.
+    pub fn sample_into(&self, site: &Site, now: SimTime, out: &mut Vec<MetricEvent>) {
         let total = site.total_slots() as u32;
-        vec![
+        out.extend([
             MetricEvent {
                 at: now,
                 metric: Metric::CpuLoad {
@@ -57,7 +66,7 @@ impl GangliaAgent {
                     total: site.storage.capacity(),
                 },
             },
-        ]
+        ]);
     }
 }
 

@@ -32,7 +32,10 @@ pub struct MdViewer {
     start: SimTime,
     days: usize,
     cpu_by_vo: Vec<UsageIntegrator>,
-    cms_by_site: BTreeMap<SiteId, UsageIntegrator>,
+    // Dense by site index (ascending SiteId = the old BTreeMap walk
+    // order); O(1) per record on the job-finished hot path instead of a
+    // tree lookup, with integrators lazily built per CMS site.
+    cms_by_site: Vec<Option<UsageIntegrator>>,
     bytes_by_vo: Vec<BinnedSeries>,
     bytes_total: BinnedSeries,
     jobs_seen: u64,
@@ -47,7 +50,7 @@ impl MdViewer {
             cpu_by_vo: (0..6)
                 .map(|_| UsageIntegrator::daily(start, days))
                 .collect(),
-            cms_by_site: BTreeMap::new(),
+            cms_by_site: Vec::new(),
             bytes_by_vo: (0..6).map(|_| BinnedSeries::daily(start, days)).collect(),
             bytes_total: BinnedSeries::daily(start, days),
             jobs_seen: 0,
@@ -79,11 +82,13 @@ impl MdViewer {
         let vo = record.class.vo();
         self.cpu_by_vo[vo.index()].add_interval(started, end, 1.0);
         if record.class == UserClass::Uscms {
-            let days = self.days;
-            let start = self.start;
-            self.cms_by_site
-                .entry(record.site)
-                .or_insert_with(|| UsageIntegrator::daily(start, days))
+            let (days, start) = (self.days, self.start);
+            let idx = record.site.0 as usize;
+            if idx >= self.cms_by_site.len() {
+                self.cms_by_site.resize_with(idx + 1, || None);
+            }
+            self.cms_by_site[idx]
+                .get_or_insert_with(|| UsageIntegrator::daily(start, days))
                 .add_interval(started, end, 1.0);
         }
     }
@@ -136,14 +141,15 @@ impl MdViewer {
     pub fn fig4_cms_cpu_days_by_site(&self) -> BTreeMap<SiteId, f64> {
         self.cms_by_site
             .iter()
-            .map(|(s, u)| (*s, u.total_unit_days()))
+            .enumerate()
+            .filter_map(|(i, u)| u.as_ref().map(|u| (SiteId(i as u32), u.total_unit_days())))
             .collect()
     }
 
     /// Grid-wide cumulative CMS CPU-days per day (Figure 4's growth curve).
     pub fn fig4_cms_cumulative(&self) -> Vec<f64> {
         let mut total = vec![0.0; self.days];
-        for u in self.cms_by_site.values() {
+        for u in self.cms_by_site.iter().flatten() {
             for (t, v) in total.iter_mut().zip(u.series().values()) {
                 *t += v / 86_400.0;
             }

@@ -14,7 +14,7 @@ use grid3_simkit::time::{SimDuration, SimTime};
 use grid3_site::cluster::Site;
 use grid3_site::vo::Vo;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A fixed-capacity, fixed-step time-series ring: the "round robin-like
 /// database". Samples landing in the same step consolidate by averaging;
@@ -106,11 +106,23 @@ impl MonAlisaAgent {
 
     /// Sample VO activity and queue depth at the site.
     pub fn sample(&self, site: &Site, gatekeeper_load: f64, now: SimTime) -> Vec<MetricEvent> {
-        let mut per_vo = [0u32; 6];
-        for r in site.running_jobs() {
-            per_vo[r.vo.index()] += 1;
-        }
-        let mut events = vec![
+        let mut events = Vec::new();
+        self.sample_into(site, gatekeeper_load, now, &mut events);
+        events
+    }
+
+    /// [`MonAlisaAgent::sample`] into a caller-owned buffer (appended,
+    /// not cleared) — the monitor sweep reuses one buffer across all
+    /// sites so a tick allocates nothing.
+    pub fn sample_into(
+        &self,
+        site: &Site,
+        gatekeeper_load: f64,
+        now: SimTime,
+        out: &mut Vec<MetricEvent>,
+    ) {
+        let per_vo = site.running_per_vo();
+        out.extend([
             MetricEvent {
                 at: now,
                 metric: Metric::QueuedJobs {
@@ -125,9 +137,9 @@ impl MonAlisaAgent {
                     load: gatekeeper_load,
                 },
             },
-        ];
+        ]);
         for vo in Vo::ALL {
-            events.push(MetricEvent {
+            out.push(MetricEvent {
                 at: now,
                 metric: Metric::RunningJobs {
                     site: self.site,
@@ -136,7 +148,6 @@ impl MonAlisaAgent {
                 },
             });
         }
-        events
     }
 }
 
@@ -167,11 +178,22 @@ pub enum SeriesKey {
     ),
 }
 
+/// Series slots per site in the repository's dense layout: queue depth,
+/// gatekeeper load, CPU load, plus one running-jobs series per VO.
+const SLOTS_PER_SITE: usize = 3 + Vo::ALL.len();
+
 /// The central MonALISA repository at the iGOC.
+///
+/// Series live in a dense vector indexed by `(site, slot)` — every key
+/// the agents emit maps to a fixed slot — so the per-metric ingest on
+/// the monitoring sweep is an index, not an ordered-map walk. Slots a
+/// site never reported stay `None`, mirroring the absent keys of a
+/// keyed map.
 pub struct MonAlisaRepository {
     step: SimDuration,
     capacity: usize,
-    series: BTreeMap<SeriesKey, RoundRobinDb>,
+    series: Vec<Option<RoundRobinDb>>,
+    populated: usize,
 }
 
 impl MonAlisaRepository {
@@ -180,39 +202,60 @@ impl MonAlisaRepository {
         MonAlisaRepository {
             step,
             capacity,
-            series: BTreeMap::new(),
+            series: Vec::new(),
+            populated: 0,
         }
+    }
+
+    /// Dense index of a series key: sites are contiguous blocks of
+    /// [`SLOTS_PER_SITE`] slots.
+    fn slot_index(key: &SeriesKey) -> usize {
+        let (site, slot) = match key {
+            SeriesKey::Queued(s) => (s, 0),
+            SeriesKey::GkLoad(s) => (s, 1),
+            SeriesKey::CpuLoad(s) => (s, 2),
+            SeriesKey::Running(s, vo) => (s, 3 + vo.index()),
+        };
+        site.index() * SLOTS_PER_SITE + slot
     }
 
     /// The series for a key, if any samples arrived.
     pub fn series(&self, key: &SeriesKey) -> Option<&RoundRobinDb> {
-        self.series.get(key)
+        self.series.get(Self::slot_index(key))?.as_ref()
     }
 
     /// Number of distinct series held.
     pub fn series_count(&self) -> usize {
-        self.series.len()
+        self.populated
     }
 
     /// Total running jobs across all sites for a VO, from each site's
     /// latest consolidated sample — the repository's grid-wide VO view.
+    /// Summed in ascending site order (the dense layout's natural walk).
     pub fn grid_running_for(&self, vo: Vo) -> f64 {
         self.series
             .iter()
-            .filter_map(|(k, db)| match k {
-                SeriesKey::Running(_, v) if *v == vo => db.last(),
-                _ => None,
-            })
+            .skip(3 + vo.index())
+            .step_by(SLOTS_PER_SITE)
+            .flatten()
+            .filter_map(|db| db.last())
             .sum()
     }
 
     fn record(&mut self, key: SeriesKey, t: SimTime, v: f64) {
-        let step = self.step;
-        let cap = self.capacity;
-        self.series
-            .entry(key)
-            .or_insert_with(|| RoundRobinDb::new(step, cap))
-            .record(t, v);
+        let idx = Self::slot_index(&key);
+        if idx >= self.series.len() {
+            self.series.resize_with(idx + 1, || None);
+        }
+        let slot = &mut self.series[idx];
+        let db = match slot {
+            Some(db) => db,
+            None => {
+                self.populated += 1;
+                slot.insert(RoundRobinDb::new(self.step, self.capacity))
+            }
+        };
+        db.record(t, v);
     }
 }
 

@@ -25,7 +25,6 @@ use grid3_simkit::units::Bytes;
 use grid3_site::job::FailureCause;
 use grid3_site::vo::UserClass;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A submit-side (VO/Condor-G) job identifier, distinct from the grid-wide
 /// execution-side [`JobId`]. Real Grid3 had exactly this split — the DAGMan
@@ -180,22 +179,54 @@ impl UserAccount {
     }
 }
 
+/// Per-job side state kept dense by job index so [`TraceStore::record`]
+/// is an index, not a map probe: the trace slot, the owning user, and
+/// the pending dispatch timestamp.
+#[derive(Debug, Clone, Copy)]
+struct JobSide {
+    /// Index into `traces`, or [`NO_TRACE`] for a job never opened.
+    trace: u32,
+    user: UserId,
+    /// When the running dispatch started; [`NO_DISPATCH`] when none is
+    /// pending.
+    dispatch_at: SimTime,
+}
+
+const NO_TRACE: u32 = u32::MAX;
+const NO_DISPATCH: SimTime = SimTime::from_micros(u64::MAX);
+
+const UNKNOWN_JOB: JobSide = JobSide {
+    trace: NO_TRACE,
+    user: UserId(0),
+    dispatch_at: NO_DISPATCH,
+};
+
 /// The structured trace store.
+///
+/// Execution-side job ids and user ids are allocated densely, so the
+/// lookup tables are vectors indexed by id; submit-side ids are handed
+/// out by this store one per opened trace, so `SubmitSideId(n)` *is*
+/// `traces[n]` and needs no table at all.
 #[derive(Debug, Clone, Default)]
 pub struct TraceStore {
     traces: Vec<JobTrace>,
-    by_execution: HashMap<JobId, usize>,
-    by_submit: HashMap<SubmitSideId, usize>,
-    accounts: HashMap<UserId, UserAccount>,
+    jobs: Vec<JobSide>,
+    accounts: Vec<UserAccount>,
     next_submit_id: u64,
-    dispatch_at: HashMap<JobId, SimTime>,
-    user_of: HashMap<JobId, UserId>,
 }
 
 impl TraceStore {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn account_mut(&mut self, user: UserId) -> &mut UserAccount {
+        let u = user.index();
+        if u >= self.accounts.len() {
+            self.accounts.resize(u + 1, UserAccount::default());
+        }
+        &mut self.accounts[u]
     }
 
     /// Open a trace for a new submission; allocates and links the
@@ -210,61 +241,68 @@ impl TraceStore {
         let submit_id = SubmitSideId(self.next_submit_id);
         self.next_submit_id += 1;
         let idx = self.traces.len();
+        // A full lifecycle is ~10 events; one up-front reservation spares
+        // the doubling reallocations on every trace.
+        let mut events = Vec::with_capacity(12);
+        events.push((at, TraceEvent::Submitted { user }));
         self.traces.push(JobTrace {
             submit_id,
             execution_id,
             class,
-            events: vec![(at, TraceEvent::Submitted { user })],
+            events,
         });
-        self.by_execution.insert(execution_id, idx);
-        self.by_submit.insert(submit_id, idx);
-        self.accounts.entry(user).or_default().submitted += 1;
-        self.user_of.insert(execution_id, user);
+        let j = execution_id.index();
+        if j >= self.jobs.len() {
+            self.jobs.resize(j + 1, UNKNOWN_JOB);
+        }
+        self.jobs[j] = JobSide {
+            trace: idx as u32,
+            user,
+            dispatch_at: NO_DISPATCH,
+        };
+        self.account_mut(user).submitted += 1;
         submit_id
     }
 
     /// Record an event against a job. Unknown jobs are ignored (defensive:
     /// the store may be enabled mid-run).
     pub fn record(&mut self, job: JobId, at: SimTime, event: TraceEvent) {
-        let Some(&idx) = self.by_execution.get(&job) else {
+        let Some(side) = self.jobs.get(job.index()).copied() else {
             return;
         };
+        if side.trace == NO_TRACE {
+            return;
+        }
         // Accounting side effects.
         match &event {
             TraceEvent::Dispatched { .. } => {
-                self.dispatch_at.insert(job, at);
+                self.jobs[job.index()].dispatch_at = at;
             }
-            TraceEvent::ExecutionEnded => {
-                if let (Some(start), Some(user)) =
-                    (self.dispatch_at.remove(&job), self.user_of.get(&job))
-                {
-                    self.accounts.entry(*user).or_default().cpu_secs +=
-                        at.since(start).as_secs_f64();
-                }
+            TraceEvent::ExecutionEnded if side.dispatch_at != NO_DISPATCH => {
+                self.jobs[job.index()].dispatch_at = NO_DISPATCH;
+                self.account_mut(side.user).cpu_secs += at.since(side.dispatch_at).as_secs_f64();
             }
             TraceEvent::StageInStarted { bytes } | TraceEvent::StageOutStarted { bytes } => {
-                if let Some(user) = self.user_of.get(&job) {
-                    self.accounts.entry(*user).or_default().bytes_moved += bytes.as_u64();
-                }
+                self.account_mut(side.user).bytes_moved += bytes.as_u64();
             }
             TraceEvent::Completed => {
-                if let Some(user) = self.user_of.get(&job) {
-                    self.accounts.entry(*user).or_default().completed += 1;
-                }
+                self.account_mut(side.user).completed += 1;
             }
             TraceEvent::Failed(_) => {
-                if let Some(user) = self.user_of.get(&job) {
-                    self.accounts.entry(*user).or_default().failed += 1;
-                }
+                self.account_mut(side.user).failed += 1;
             }
             _ => {}
         }
-        self.traces[idx].events.push((at, event));
+        self.traces[side.trace as usize].events.push((at, event));
     }
 
     /// The trace of an execution-side job.
     pub fn trace(&self, job: JobId) -> Option<&JobTrace> {
-        self.by_execution.get(&job).map(|&i| &self.traces[i])
+        let side = self.jobs.get(job.index())?;
+        if side.trace == NO_TRACE {
+            return None;
+        }
+        Some(&self.traces[side.trace as usize])
     }
 
     /// §8 linkage: execution-side id → full trace (including submit id).
@@ -274,7 +312,7 @@ impl TraceStore {
 
     /// §8 linkage: submit-side id → full trace (including execution id).
     pub fn find_by_submit_id(&self, submit: SubmitSideId) -> Option<&JobTrace> {
-        self.by_submit.get(&submit).map(|&i| &self.traces[i])
+        self.traces.get(usize::try_from(submit.0).ok()?)
     }
 
     /// Number of traces held.
@@ -303,14 +341,21 @@ impl TraceStore {
 
     /// Per-user accounting (§5.2 auditing).
     pub fn accounting_by_user(&self, user: UserId) -> UserAccount {
-        self.accounts.get(&user).copied().unwrap_or_default()
+        self.accounts.get(user.index()).copied().unwrap_or_default()
     }
 
     /// All accounts, sorted by CPU seconds descending (the heavy hitters
     /// an operations review starts from).
     pub fn top_users(&self, n: usize) -> Vec<(UserId, UserAccount)> {
-        let mut v: Vec<(UserId, UserAccount)> =
-            self.accounts.iter().map(|(u, a)| (*u, *a)).collect();
+        // Every account is touched through `open` first, so submitted > 0
+        // distinguishes real users from dense-table padding.
+        let mut v: Vec<(UserId, UserAccount)> = self
+            .accounts
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.submitted > 0)
+            .map(|(u, a)| (UserId(u as u32), *a))
+            .collect();
         v.sort_by(|a, b| {
             grid3_simkit::stats::cmp_f64_desc(a.1.cpu_secs, b.1.cpu_secs)
                 .then_with(|| a.0.cmp(&b.0))

@@ -479,6 +479,24 @@ impl Telemetry {
         }
     }
 
+    /// [`Telemetry::counter_add`] with a lazily built label: `label` is
+    /// only invoked when the handle is enabled, so call sites with
+    /// `format!`-style labels cost nothing — no allocation, no
+    /// formatting — on a disabled handle.
+    pub fn counter_add_with(
+        &self,
+        subsystem: &'static str,
+        name: &'static str,
+        label: impl FnOnce() -> String,
+        delta: u64,
+    ) {
+        if let Some(inner) = &self.0 {
+            let mut inner = inner.borrow_mut();
+            let slot = inner.counter_slot(subsystem, name, label());
+            inner.counter_values[slot as usize] += delta;
+        }
+    }
+
     /// Current value of one labelled counter (0 if never written).
     pub fn counter(&self, subsystem: &'static str, name: &'static str, label: &str) -> u64 {
         self.0

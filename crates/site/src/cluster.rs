@@ -137,6 +137,10 @@ pub struct Site {
     nodes: Vec<WorkerNode>,
     running: HashMap<JobId, RunningJob>,
     running_long: usize,
+    /// Running jobs per VO (indexed by [`Vo::index`]), maintained at
+    /// dispatch/release so monitoring agents read counters instead of
+    /// walking the running map every sweep.
+    running_per_vo: [u32; Vo::ALL.len()],
     /// Stack of idle up nodes; kept sorted descending so the lowest node id
     /// pops first (deterministic placement).
     free_nodes: Vec<NodeId>,
@@ -178,6 +182,7 @@ impl Site {
             nodes,
             running: HashMap::new(),
             running_long: 0,
+            running_per_vo: [0; Vo::ALL.len()],
             free_nodes,
             service_up: true,
             network_up: true,
@@ -209,6 +214,11 @@ impl Site {
     /// Iterate over running jobs.
     pub fn running_jobs(&self) -> impl Iterator<Item = &RunningJob> {
         self.running.values()
+    }
+
+    /// Running jobs per VO, indexed by [`Vo::index`].
+    pub fn running_per_vo(&self) -> &[u32; Vo::ALL.len()] {
+        &self.running_per_vo
     }
 
     /// §6.4 site-selection check: can this site, right now, accept `spec`?
@@ -258,6 +268,7 @@ impl Site {
             if long {
                 self.running_long += 1;
             }
+            self.running_per_vo[job.vo.index()] += 1;
             self.running.insert(
                 job.job,
                 RunningJob {
@@ -285,6 +296,7 @@ impl Site {
         if booking.long {
             self.running_long -= 1;
         }
+        self.running_per_vo[booking.vo.index()] -= 1;
         if self.nodes[booking.node.index()].is_up() {
             self.free_nodes.push(booking.node);
         }

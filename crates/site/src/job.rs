@@ -129,6 +129,29 @@ pub enum FailureCause {
 }
 
 impl FailureCause {
+    /// Every cause, in declaration (= `Ord`) order. Dense accumulators
+    /// index by [`FailureCause::index`] and iterate this table, so their
+    /// view matches a `BTreeMap<FailureCause, _>` walk exactly.
+    pub const ALL: [FailureCause; 12] = [
+        FailureCause::DiskFull,
+        FailureCause::GatekeeperOverload,
+        FailureCause::NetworkInterruption,
+        FailureCause::NodeRollover,
+        FailureCause::Misconfiguration,
+        FailureCause::ServiceFailure,
+        FailureCause::WalltimeExceeded,
+        FailureCause::RandomLoss,
+        FailureCause::StageInFailure,
+        FailureCause::StageOutFailure,
+        FailureCause::RegistrationFailure,
+        FailureCause::NoEligibleSite,
+    ];
+
+    /// Position in [`FailureCause::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Whether the paper's accounting would attribute this failure to a
     /// *site problem* (§6.1 counts ≈90 % of failures in this bucket).
     pub fn is_site_problem(self) -> bool {

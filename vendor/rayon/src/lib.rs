@@ -10,6 +10,15 @@ pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
 
+/// Number of worker threads the (implicit) pool would use — the stub's
+/// analogue of `rayon::current_num_threads()`: the machine's available
+/// parallelism, with 1 as the conservative fallback.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
 /// Types that can hand out a parallel iterator over `&self`'s elements.
 pub trait IntoParallelRefIterator<'a> {
     /// The element type iterated by reference.
