@@ -17,8 +17,9 @@
 //! the residual spread visible in Table 1's max-single-resource
 //! percentages.
 
+use grid3_middleware::backend::RankInputs;
 use grid3_middleware::mds::{GlueRecord, MdsDirectory};
-use grid3_simkit::ids::SiteId;
+use grid3_simkit::ids::{GridId, SiteId};
 use grid3_simkit::rng::SimRng;
 use grid3_simkit::time::{SimDuration, SimTime};
 use grid3_simkit::units::Bytes;
@@ -124,15 +125,34 @@ pub struct SiteTable {
     max_walltime: Vec<SimDuration>,
     /// Position of this row's site in `order`.
     rank_pos: Vec<u32>,
+    /// Member grid of this row's site (from [`SiteTable::set_grid_map`]);
+    /// `GridId(0)` everywhere in single-grid runs.
+    grid: Vec<GridId>,
+    /// Free CPUs — the EDG/LCG rank's tie-break input.
+    free: Vec<u32>,
+    /// Queued jobs — the EDG/LCG rank's primary input.
+    queued: Vec<u32>,
     /// Scratch for inverting `order` into `rank_pos`, dense by site
     /// index; retained across refreshes.
     pos_scratch: Vec<u32>,
+    /// Site→grid labelling applied at refresh, dense by site index
+    /// (empty ⇒ every row lands in grid 0).
+    grid_map: Vec<GridId>,
 }
 
 impl SiteTable {
     /// An empty table; the first [`SiteTable::refresh`] populates it.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Install the site→grid labelling the next refresh stamps onto each
+    /// row. Federated assemblies call this once at build time; the empty
+    /// default labels every row grid 0.
+    pub fn set_grid_map(&mut self, grid_of: &[GridId]) {
+        self.grid_map = grid_of.to_vec();
+        // Force the next refresh to restamp rows under the new map.
+        self.epoch = None;
     }
 
     /// Revalidate against the directory: one integer compare when the
@@ -166,6 +186,9 @@ impl SiteTable {
         self.se_free.clear();
         self.max_walltime.clear();
         self.rank_pos.clear();
+        self.grid.clear();
+        self.free.clear();
+        self.queued.clear();
         for r in mds.all_records() {
             self.site.push(r.site);
             self.timestamp.push(r.timestamp);
@@ -178,6 +201,14 @@ impl SiteTable {
             self.se_free.push(r.se_free);
             self.max_walltime.push(r.max_walltime);
             self.rank_pos.push(self.pos_scratch[r.site.index()]);
+            self.grid.push(
+                self.grid_map
+                    .get(r.site.index())
+                    .copied()
+                    .unwrap_or(GridId(0)),
+            );
+            self.free.push(r.free_cpus);
+            self.queued.push(r.queued_jobs);
         }
         self.epoch = Some(mds.epoch());
     }
@@ -441,6 +472,42 @@ impl Broker {
         scratch: &mut SelectScratch,
         rng: &mut SimRng,
     ) -> Option<SiteId> {
+        self.select_table_for(
+            spec,
+            vo_affinity,
+            table,
+            now,
+            None,
+            RankInputs::HeadroomBandwidth,
+            online,
+            banned,
+            scratch,
+            rng,
+        )
+    }
+
+    /// [`Broker::select_table`] restricted to one member grid and ranked
+    /// by a backend's [`RankInputs`] — the federated placement path.
+    ///
+    /// `grid = None` spans the whole table (the single-grid hot path
+    /// delegates here with the `Vdt` rank). The `scratch` static-row
+    /// cache is keyed by `(epoch, day)` only, so callers must dedicate
+    /// one [`SelectScratch`] per distinct `(grid, online)` query shape —
+    /// the federated brokering subsystem keeps one per member grid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select_table_for(
+        &self,
+        spec: &JobSpec,
+        vo_affinity: f64,
+        table: &SiteTable,
+        now: SimTime,
+        grid: Option<GridId>,
+        rank: RankInputs,
+        online: impl Fn(SiteId) -> bool,
+        banned: impl Fn(SiteId) -> bool,
+        scratch: &mut SelectScratch,
+        rng: &mut SimRng,
+    ) -> Option<SiteId> {
         let vo = vo_bit(spec.class.vo());
         let need = spec.input_bytes + spec.output_bytes + spec.scratch_bytes;
         // Revalidate the static-row cache (see [`SelectScratch`]): rows
@@ -456,7 +523,10 @@ impl Broker {
             scratch.static_rows.clear();
             let mut valid_until = SimTime::from_micros(u64::MAX);
             for i in 0..table.site.len() {
-                if now.since(table.timestamp[i]) <= table.ttl && online(table.site[i]) {
+                if now.since(table.timestamp[i]) <= table.ttl
+                    && grid.is_none_or(|g| table.grid[i] == g)
+                    && online(table.site[i])
+                {
                     valid_until = valid_until.min(table.timestamp[i] + table.ttl);
                     scratch.static_rows.push(i as u32);
                 }
@@ -520,38 +590,64 @@ impl Broker {
             return Some(table.site[scratch.eligible[idx] as usize]);
         }
 
-        // Ranked path: the reference broker sorts the eligible subset by
-        // `rank_order` and reads slot `target`; restricting a total
-        // order to a subset preserves relative order, so that slot holds
-        // the eligible row with the `target`-th smallest global rank
-        // position — found in one pass (rank positions are unique).
+        // Ranked path. The `target` draw is identical under either rank
+        // — only which site the slot resolves to differs per backend.
         let k = self.spread.max(1).min(scratch.eligible.len());
         let target = rng.below(k);
-        const SMALL_K: usize = 8;
-        if k <= SMALL_K {
-            let mut best = [u32::MAX; SMALL_K];
-            for &i in &scratch.eligible {
-                let rp = table.rank_pos[i as usize];
-                if rp >= best[k - 1] {
-                    continue;
+        match rank {
+            // The reference (`Vdt`) rank: the reference broker sorts the
+            // eligible subset by `rank_order` and reads slot `target`;
+            // restricting a total order to a subset preserves relative
+            // order, so that slot holds the eligible row with the
+            // `target`-th smallest global rank position — found in one
+            // pass (rank positions are unique).
+            RankInputs::HeadroomBandwidth => {
+                const SMALL_K: usize = 8;
+                if k <= SMALL_K {
+                    let mut best = [u32::MAX; SMALL_K];
+                    for &i in &scratch.eligible {
+                        let rp = table.rank_pos[i as usize];
+                        if rp >= best[k - 1] {
+                            continue;
+                        }
+                        let mut j = k - 1;
+                        while j > 0 && best[j - 1] > rp {
+                            best[j] = best[j - 1];
+                            j -= 1;
+                        }
+                        best[j] = rp;
+                    }
+                    return Some(table.order[best[target] as usize]);
                 }
-                let mut j = k - 1;
-                while j > 0 && best[j - 1] > rp {
-                    best[j] = best[j - 1];
-                    j -= 1;
-                }
-                best[j] = rp;
+                // Oversized spread (not a shipped configuration): select
+                // via a sort of the rank positions in the retained buffer.
+                scratch.saved.clear();
+                scratch
+                    .saved
+                    .extend(scratch.eligible.iter().map(|&i| table.rank_pos[i as usize]));
+                scratch.saved.sort_unstable();
+                Some(table.order[scratch.saved[target] as usize])
             }
-            return Some(table.order[best[target] as usize]);
+            // The EDG/LCG resource-broker rank: shortest batch queue
+            // first, free CPUs and site id as tie-breaks. Keys are
+            // unique (site id is the last word), so slot `target` of the
+            // sorted key set is well-defined.
+            RankInputs::QueueDepth => {
+                let key = |i: u32| {
+                    let i = i as usize;
+                    ((table.queued[i] as u128) << 64)
+                        | (((u32::MAX - table.free[i]) as u128) << 32)
+                        | table.site[i].0 as u128
+                };
+                let mut picks: Vec<(u128, SiteId)> = scratch
+                    .eligible
+                    .iter()
+                    .map(|&i| (key(i), table.site[i as usize]))
+                    .collect();
+                picks.sort_unstable();
+                Some(picks[target].1)
+            }
         }
-        // Oversized spread (not a shipped configuration): select via a
-        // sort of the rank positions in the retained buffer.
-        scratch.saved.clear();
-        scratch
-            .saved
-            .extend(scratch.eligible.iter().map(|&i| table.rank_pos[i as usize]));
-        scratch.saved.sort_unstable();
-        Some(table.order[scratch.saved[target] as usize])
     }
 }
 
@@ -860,6 +956,73 @@ mod tests {
         mds.publish(record(0, 100, None));
         cache.refresh(&mds);
         assert_eq!(cache.order(), &[SiteId(0), SiteId(1)]);
+    }
+
+    #[test]
+    fn edg_rank_and_grid_filter_reshape_selection() {
+        let broker = Broker {
+            spread: 1,
+            favorite_bias: 0.0,
+        };
+        let mut rng = SimRng::for_entity(6, 6);
+        let mut a = record(0, 90, None);
+        a.queued_jobs = 30; // headroom 60 — Vdt's best rank
+        let b = record(1, 10, None); // queue 0 — EDG's best rank
+        let mut c = record(2, 40, None);
+        c.queued_jobs = 5;
+        let mut mds = grid3_middleware::mds::MdsDirectory::with_default_ttl();
+        for r in [&a, &b, &c] {
+            mds.publish(r.clone());
+        }
+        let mut table = SiteTable::new();
+        table.refresh(&mds);
+        let s = spec(UserClass::Ivdgl);
+        let pick = |table: &SiteTable, grid, rank, rng: &mut SimRng| {
+            let mut scratch = SelectScratch::default();
+            broker.select_table_for(
+                &s,
+                0.0,
+                table,
+                SimTime::EPOCH,
+                grid,
+                rank,
+                |_| true,
+                |_| false,
+                &mut scratch,
+                rng,
+            )
+        };
+        // Same directory, opposite winners per backend rank.
+        assert_eq!(
+            pick(&table, None, RankInputs::HeadroomBandwidth, &mut rng),
+            Some(SiteId(0))
+        );
+        assert_eq!(
+            pick(&table, None, RankInputs::QueueDepth, &mut rng),
+            Some(SiteId(1))
+        );
+        // Grid restriction: label site 2 into grid 1 — each grid's
+        // broker only ever sees its own rows.
+        table.set_grid_map(&[GridId(0), GridId(0), GridId(1)]);
+        table.refresh(&mds);
+        assert_eq!(
+            pick(
+                &table,
+                Some(GridId(1)),
+                RankInputs::HeadroomBandwidth,
+                &mut rng
+            ),
+            Some(SiteId(2))
+        );
+        assert_eq!(
+            pick(
+                &table,
+                Some(GridId(0)),
+                RankInputs::HeadroomBandwidth,
+                &mut rng
+            ),
+            Some(SiteId(0))
+        );
     }
 
     #[test]

@@ -368,6 +368,13 @@ impl Grid3Engine {
         &self.ctx.ops
     }
 
+    /// The federation state: grid membership, per-grid middleware
+    /// backends, MDS peering and cross-grid accounting. Single-grid runs
+    /// hold a degenerate one-grid state.
+    pub fn federation(&self) -> &crate::federation::FederationState {
+        &self.fabric.federation
+    }
+
     /// Check an extracted report's totals against the audited ledger
     /// (no-op without the auditor). Call after [`Grid3Report::extract`]:
     /// any imbalance lands in the auditor's violation list.

@@ -42,6 +42,9 @@
 //! * [`ops`] — the structured ops journal: the JSON-lines stream of
 //!   operational events (faults, tickets, blacklists, rescues, reaps)
 //!   behind the `figures -- ops` iGOC-console view.
+//! * [`federation`] — the multi-grid layer: N member grids with their
+//!   own site sets, VO admission and middleware backend personalities,
+//!   hierarchical MDS peering, and cross-grid brokering/stage-in.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +64,7 @@ pub mod broker;
 pub mod campaign;
 pub mod chaos;
 pub mod engine;
+pub mod federation;
 pub mod ops;
 pub mod report;
 pub mod resilience;
@@ -73,6 +77,7 @@ mod engine_tests;
 
 pub use chaos::{ChaosRates, FaultKind, FaultPlan, InvariantAuditor, PlannedFault, Violation};
 pub use engine::{Grid3Engine, Simulation};
+pub use federation::{Federation, FederationState, GridMap, GridRuntime, GridSpec, GridTally};
 pub use ops::{OpsEventKind, OpsJournal, OpsRecord};
 pub use report::Grid3Report;
 pub use resilience::{ResilienceConfig, ResilienceLayer};

@@ -17,7 +17,7 @@
 //! the golden-hash suite runs with it on. Journal output lives beside
 //! the report, never inside it, so report hashes cannot see it.
 
-use grid3_simkit::ids::{JobId, SiteId, TicketId};
+use grid3_simkit::ids::{GridId, JobId, SiteId, TicketId};
 use grid3_simkit::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -85,6 +85,11 @@ pub struct OpsRecord {
     pub at: SimTime,
     /// Site involved, if the event is site-scoped.
     pub site: Option<SiteId>,
+    /// The member grid of `site` in federated runs. Omitted from the
+    /// JSON line when absent, so single-grid journals keep their legacy
+    /// shape and legacy lines (no `grid` key) still parse.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub grid: Option<GridId>,
     /// The event itself.
     pub kind: OpsEventKind,
 }
@@ -105,28 +110,56 @@ impl OpsRecord {
 /// every clone appends to the same stream. The disabled handle (the
 /// default) makes [`OpsJournal::record`] a single branch.
 #[derive(Clone, Default)]
-pub struct OpsJournal(Option<Rc<RefCell<Vec<OpsRecord>>>>);
+pub struct OpsJournal {
+    inner: Option<Rc<RefCell<Vec<OpsRecord>>>>,
+    /// Site→grid labelling for federated runs; the empty default maps
+    /// every site to grid 0 and leaves [`OpsRecord::grid`] unset.
+    grid_of: crate::federation::GridMap,
+}
 
 impl OpsJournal {
     /// A no-op handle.
     pub fn disabled() -> Self {
-        OpsJournal(None)
+        OpsJournal::default()
     }
 
     /// An active, empty journal.
     pub fn enabled() -> Self {
-        OpsJournal(Some(Rc::new(RefCell::new(Vec::new()))))
+        OpsJournal {
+            inner: Some(Rc::new(RefCell::new(Vec::new()))),
+            grid_of: crate::federation::GridMap::default(),
+        }
+    }
+
+    /// Install the site→grid labelling federated runs stamp onto each
+    /// record. The single-grid default labelling leaves records in
+    /// their legacy (no `grid` key) shape.
+    pub fn set_grid_map(&mut self, grid_of: crate::federation::GridMap) {
+        self.grid_of = grid_of;
     }
 
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
-        self.0.is_some()
+        self.inner.is_some()
+    }
+
+    fn grid_label(&self, site: Option<SiteId>) -> Option<GridId> {
+        if self.grid_of.is_single() {
+            None
+        } else {
+            site.map(|s| self.grid_of.grid_of(s))
+        }
     }
 
     /// Append one event to the journal.
     pub fn record(&self, at: SimTime, site: Option<SiteId>, kind: OpsEventKind) {
-        if let Some(inner) = &self.0 {
-            inner.borrow_mut().push(OpsRecord { at, site, kind });
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().push(OpsRecord {
+                at,
+                site,
+                grid: self.grid_label(site),
+                kind,
+            });
         }
     }
 
@@ -140,10 +173,11 @@ impl OpsJournal {
         site: Option<SiteId>,
         kind: impl FnOnce() -> OpsEventKind,
     ) {
-        if let Some(inner) = &self.0 {
+        if let Some(inner) = &self.inner {
             inner.borrow_mut().push(OpsRecord {
                 at,
                 site,
+                grid: self.grid_label(site),
                 kind: kind(),
             });
         }
@@ -151,7 +185,7 @@ impl OpsJournal {
 
     /// Records appended so far, in emission order.
     pub fn records(&self) -> Vec<OpsRecord> {
-        self.0
+        self.inner
             .as_ref()
             .map(|inner| inner.borrow().clone())
             .unwrap_or_default()
@@ -159,7 +193,7 @@ impl OpsJournal {
 
     /// Number of records appended so far.
     pub fn len(&self) -> usize {
-        self.0
+        self.inner
             .as_ref()
             .map(|inner| inner.borrow().len())
             .unwrap_or(0)
@@ -184,7 +218,7 @@ impl OpsJournal {
 
 impl std::fmt::Debug for OpsJournal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match &self.0 {
+        match &self.inner {
             Some(inner) => write!(f, "OpsJournal(enabled, {} records)", inner.borrow().len()),
             None => write!(f, "OpsJournal(disabled)"),
         }
@@ -249,6 +283,48 @@ mod tests {
             .map(|l| OpsRecord::from_json_line(l).expect("parses"))
             .collect();
         assert_eq!(parsed, j.records());
+    }
+
+    #[test]
+    fn grid_field_round_trips_and_stays_backwards_compatible() {
+        // Legacy shape: no `grid` key on the wire, and old lines (also
+        // without it) still parse to `grid: None`.
+        let legacy = OpsRecord {
+            at: SimTime::from_secs(5),
+            site: Some(SiteId(2)),
+            grid: None,
+            kind: OpsEventKind::SiteSuspended,
+        };
+        let line = legacy.to_json_line();
+        assert!(
+            !line.contains("grid"),
+            "legacy line grew a grid key: {line}"
+        );
+        assert_eq!(OpsRecord::from_json_line(&line).unwrap(), legacy);
+
+        // Federated shape: the grid label survives a round trip.
+        let federated = OpsRecord {
+            grid: Some(GridId(1)),
+            ..legacy.clone()
+        };
+        let line = federated.to_json_line();
+        assert!(line.contains("grid"));
+        assert_eq!(OpsRecord::from_json_line(&line).unwrap(), federated);
+    }
+
+    #[test]
+    fn journal_stamps_grids_only_under_a_federation_map() {
+        use crate::federation::GridMap;
+        use grid3_simkit::ids::GridId;
+        let mut j = OpsJournal::enabled();
+        j.record(SimTime::EPOCH, Some(SiteId(1)), OpsEventKind::SiteSuspended);
+        j.set_grid_map(GridMap::new(vec![GridId(0), GridId(1)]));
+        j.record(SimTime::EPOCH, Some(SiteId(1)), OpsEventKind::SiteRepaired);
+        j.record(SimTime::EPOCH, None, OpsEventKind::SiteRepaired);
+        let records = j.records();
+        assert_eq!(records[0].grid, None);
+        assert_eq!(records[1].grid, Some(GridId(1)));
+        assert_eq!(records[2].grid, None);
     }
 
     #[test]

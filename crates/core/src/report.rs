@@ -81,6 +81,50 @@ pub struct Grid3Report {
     pub site_state_efficiency: Vec<SiteStateEfficiency>,
     /// Total job records (completed + failed).
     pub total_jobs: u64,
+    /// Per-grid completion split for federated runs. Empty for
+    /// single-grid runs — and skipped from the JSON, keeping the legacy
+    /// report (and every golden hash over it) byte-identical.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub per_grid_efficiency: Vec<GridEfficiency>,
+    /// Federation-wide rollup (`None` — and absent from the JSON — for
+    /// single-grid runs).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub federation: Option<FederationSummary>,
+}
+
+/// Completion accounting for one member grid of a federation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridEfficiency {
+    /// Grid name from the scenario's federation spec.
+    pub grid: String,
+    /// The middleware stack the grid runs (e.g. "VDT-1.1.8").
+    pub backend: String,
+    /// Sites labelled into this grid.
+    pub sites: usize,
+    /// Jobs that finished successfully at this grid's sites.
+    pub completed: u64,
+    /// Jobs that failed at this grid's sites.
+    pub failed: u64,
+    /// Completion efficiency of the grid (0 when empty).
+    pub efficiency: f64,
+}
+
+/// The federation-wide rollup: totals across every member grid plus the
+/// inter-grid GridFTP traffic that cross-grid brokering induced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FederationSummary {
+    /// Member grid count.
+    pub grids: usize,
+    /// Completed jobs across all grids.
+    pub completed: u64,
+    /// Failed jobs across all grids.
+    pub failed: u64,
+    /// Federated completion efficiency (0 when empty).
+    pub efficiency: f64,
+    /// Stage-in transfers that crossed a grid boundary.
+    pub cross_grid_stage_ins: u64,
+    /// TB those cross-grid transfers moved.
+    pub cross_grid_stage_in_tb: f64,
 }
 
 /// Completion accounting for one site operational state.
@@ -227,6 +271,49 @@ impl Grid3Report {
             }
         };
 
+        // Federated split: per-grid tallies plus the cross-grid traffic
+        // rollup. Single-grid runs leave both empty/absent so the report
+        // JSON — and its golden hash — is byte-identical to the
+        // pre-federation engine's.
+        let fed = sim.federation();
+        let eff = |completed: u64, failed: u64| {
+            if completed + failed == 0 {
+                0.0
+            } else {
+                completed as f64 / (completed + failed) as f64
+            }
+        };
+        let (per_grid_efficiency, federation) = if fed.is_single() {
+            (Vec::new(), None)
+        } else {
+            let per: Vec<GridEfficiency> = fed
+                .grids()
+                .iter()
+                .map(|g| {
+                    let t = fed.tally_of(g.id);
+                    GridEfficiency {
+                        grid: g.name.clone(),
+                        backend: g.backend.info().software_tag().to_string(),
+                        sites: g.site_count,
+                        completed: t.completed,
+                        failed: t.failed,
+                        efficiency: eff(t.completed, t.failed),
+                    }
+                })
+                .collect();
+            let completed: u64 = per.iter().map(|g| g.completed).sum();
+            let failed: u64 = per.iter().map(|g| g.failed).sum();
+            let summary = FederationSummary {
+                grids: per.len(),
+                completed,
+                failed,
+                efficiency: eff(completed, failed),
+                cross_grid_stage_ins: fed.cross_grid_stage_ins,
+                cross_grid_stage_in_tb: fed.cross_grid_stage_in_bytes.as_tb_f64(),
+            };
+            (per, Some(summary))
+        };
+
         let metrics = MilestoneMetrics {
             cpus_steady: sim.topology().steady_cpus(),
             cpus_peak: sim.topology().peak_cpus(),
@@ -292,6 +379,8 @@ impl Grid3Report {
             })
             .collect(),
             total_jobs: sim.acdc().total_records(),
+            per_grid_efficiency,
+            federation,
         }
     }
 
@@ -444,6 +533,42 @@ impl Grid3Report {
                 e.mean_time_to_start_hr
             );
         }
+        out
+    }
+
+    /// Render the per-grid and federated efficiency split. Returns an
+    /// empty string for single-grid runs, so callers can print it
+    /// unconditionally.
+    pub fn render_federation(&self) -> String {
+        let Some(f) = &self.federation else {
+            return String::new();
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "Federated efficiency split ({} grids)", f.grids);
+        let _ = writeln!(
+            out,
+            "  {:<12} {:<12} {:>6} {:>10} {:>8} {:>11}",
+            "grid", "backend", "sites", "completed", "failed", "efficiency"
+        );
+        for g in &self.per_grid_efficiency {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:<12} {:>6} {:>10} {:>8} {:>10.1}%",
+                g.grid,
+                g.backend,
+                g.sites,
+                g.completed,
+                g.failed,
+                g.efficiency * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  federated {:.1}% | cross-grid stage-ins {} ({:.2} TB)",
+            f.efficiency * 100.0,
+            f.cross_grid_stage_ins,
+            f.cross_grid_stage_in_tb
+        );
         out
     }
 

@@ -116,6 +116,11 @@ pub struct ScenarioConfig {
     /// DAGs, watchdog reaps) behind `figures -- ops`. Observation-only
     /// and kept beside the report, exactly like the profile.
     pub ops_journal: bool,
+    /// The multi-grid federation layer (`None` = the classic single
+    /// Grid3, which runs bit-identically to the pre-federation engine;
+    /// so does an explicit one-grid `Vdt` federation).
+    #[serde(default)]
+    pub federation: Option<crate::federation::Federation>,
 }
 
 /// Event-queue backend selector (see [`ScenarioConfig::queue`]).
@@ -168,7 +173,43 @@ impl ScenarioConfig {
             audit: false,
             profile: false,
             ops_journal: false,
+            federation: None,
         }
+    }
+
+    /// The SC2003 window run as a two-grid federation: the CMS-leaning
+    /// sites (FNAL and the CMS Tier-2s) form an EDG/LCG-flavoured grid
+    /// admitting only US-CMS and BTeV, while everything else stays on
+    /// the VDT grid. SDSS data archives at FNAL — inside the EDG grid,
+    /// which refuses SDSS jobs — so every SDSS stage-in is forced
+    /// across the grid boundary (the paper's Figure-5 bulk-movement
+    /// challenge, federated), and CMS work spills onto the VDT grid
+    /// when the EDG grid saturates or its directory goes stale.
+    pub fn sc2003_federated() -> Self {
+        use crate::federation::{Federation, GridSpec};
+        use grid3_middleware::backend::BackendKind;
+        use grid3_site::vo::Vo;
+        Self::sc2003().with_federation(Federation::new(vec![
+            GridSpec {
+                name: "grid3".to_string(),
+                backend: BackendKind::Vdt,
+                sites: Vec::new(),
+                admits: None,
+            },
+            GridSpec {
+                name: "edg".to_string(),
+                backend: BackendKind::EdgLcg,
+                sites: vec![
+                    "FNAL_CMS_Tier1".to_string(),
+                    "Caltech_Tier2".to_string(),
+                    "UCSD_Tier2".to_string(),
+                    "UFlorida_Tier2".to_string(),
+                    "KNU_KISTI".to_string(),
+                    "Rice_CMS".to_string(),
+                ],
+                admits: Some(vec![Vo::Uscms, Vo::Btev]),
+            },
+        ]))
     }
 
     /// The SC2003 window under a sampled chaos plan with the auditor on:
@@ -336,6 +377,12 @@ impl ScenarioConfig {
     /// Enable/disable the structured ops journal.
     pub fn with_ops_journal(mut self, on: bool) -> Self {
         self.ops_journal = on;
+        self
+    }
+
+    /// Install a multi-grid federation layer.
+    pub fn with_federation(mut self, fed: crate::federation::Federation) -> Self {
+        self.federation = Some(fed);
         self
     }
 

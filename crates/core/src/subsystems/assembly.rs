@@ -48,6 +48,13 @@ use super::{BrokeringEvent, EngineCtx, FaultEvent, GridEvent, ReportingEvent, St
 pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
     let topo = crate::topology::grid3_topology().replicated(cfg.site_replicas);
     let mut sites = topo.build_sites();
+    // The federation layer: label sites into member grids (or the
+    // degenerate one-grid federation). Built before the middleware so
+    // per-grid backend personalities can shape gatekeeper thresholds.
+    let federation = match &cfg.federation {
+        Some(fed) => crate::federation::FederationState::build(fed, &topo),
+        None => crate::federation::FederationState::single(sites.len()),
+    };
     let mut center = OperationsCenter::new(cfg.pipeline.clone());
     // GRIS records must outlive the republish period or every broker
     // query sees an empty grid.
@@ -78,8 +85,16 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
             .set_telemetry(telemetry.clone(), format!("site{}", site.id.0));
     }
 
-    // Gatekeepers and the transfer fabric.
-    let mut gatekeepers: Vec<Gatekeeper> = sites.iter().map(|s| Gatekeeper::new(s.id)).collect();
+    // Gatekeepers and the transfer fabric. Each site's overload
+    // threshold comes from its grid's compute backend (the `Vdt`
+    // reference backend reproduces `Gatekeeper::new`'s default).
+    let mut gatekeepers: Vec<Gatekeeper> = sites
+        .iter()
+        .map(|s| {
+            let grid = &federation.grids()[federation.grid_of(s.id).index()];
+            Gatekeeper::with_threshold(s.id, grid.backend.compute().overload_threshold())
+        })
+        .collect();
     for gk in gatekeepers.iter_mut() {
         gk.set_telemetry(telemetry.clone());
     }
@@ -312,11 +327,20 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         .clone()
         .map(|rc| ResilienceLayer::new(rc, sites.len()));
 
-    let ops = if cfg.ops_journal {
+    // The site→grid labelling, shared by the context and the ops
+    // journal. Stays the empty (all-grid-0) default in single-grid runs
+    // so journal records keep their legacy shape.
+    let grid_of = if federation.is_single() {
+        crate::federation::GridMap::default()
+    } else {
+        crate::federation::GridMap::new(federation.grid_map().to_vec())
+    };
+    let mut ops = if cfg.ops_journal {
         crate::ops::OpsJournal::enabled()
     } else {
         crate::ops::OpsJournal::disabled()
     };
+    ops.set_grid_map(grid_of.clone());
     let ctx = EngineCtx {
         broker_rng: SimRng::for_entity(cfg.seed, 0xB0B),
         fate_rng: SimRng::for_entity(cfg.seed, 0xFA7E),
@@ -324,6 +348,7 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         telemetry,
         traces: TraceStore::new(),
         ops,
+        grid_of,
         immediates: Vec::new(),
         drain_pool: Vec::new(),
         timer_pool: Vec::new(),
@@ -342,6 +367,10 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         None
     };
     let chaos_state = crate::chaos::ChaosState::new(sites.len());
+    let mut brokering = Brokering::new(campaigns);
+    if !federation.is_single() {
+        brokering.set_federation(federation.grids().len(), federation.grid_map());
+    }
     let fabric = GridFabric {
         resilience,
         cfg,
@@ -361,11 +390,12 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         gram_spans: FastMap::default(),
         transfer_spans: FastMap::default(),
         chaos: chaos_state,
+        federation,
     };
     Grid3Engine {
         ctx,
         fabric,
-        brokering: Brokering::new(campaigns),
+        brokering,
         staging: Staging::new(demo),
         execution: Execution,
         fault: FaultHandling::default(),

@@ -8,9 +8,11 @@
 //! terminal funnel.
 
 use crate::broker::{Broker, SelectScratch, SiteTable};
+use grid3_middleware::gram::RetryPolicy;
 use grid3_monitoring::trace::TraceEvent;
 use grid3_simkit::hash::FastMap;
-use grid3_simkit::ids::{JobId, SiteId};
+use grid3_simkit::ids::{GridId, JobId, SiteId};
+use grid3_simkit::rng::SimRng;
 use grid3_simkit::telemetry::SpanId;
 use grid3_simkit::time::{SimDuration, SimTime};
 use grid3_simkit::units::Bytes;
@@ -42,6 +44,10 @@ pub struct Brokering {
     site_table: SiteTable,
     /// Reusable row-index buffers for [`Broker::select_table`].
     scratch: SelectScratch,
+    /// One [`SelectScratch`] per member grid for the federated path —
+    /// each grid's queries filter a different static row set, so they
+    /// cannot share the `(epoch, day)`-keyed cache. Empty single-grid.
+    grid_scratch: Vec<SelectScratch>,
     /// Jobs waiting out a retry backoff before re-brokering:
     /// `(spec, vo_affinity, attempts already made)`.
     retry_state: FastMap<JobId, (JobSpec, f64, u32)>,
@@ -66,6 +72,7 @@ impl Brokering {
             broker: Broker::default(),
             site_table: SiteTable::new(),
             scratch: SelectScratch::default(),
+            grid_scratch: Vec::new(),
             retry_state: FastMap::default(),
             unplaced_jobs: 0,
             campaigns,
@@ -79,6 +86,13 @@ impl Brokering {
     /// Jobs currently parked in a retry backoff awaiting re-brokering.
     pub(crate) fn parked_jobs(&self) -> usize {
         self.retry_state.len()
+    }
+
+    /// Prepare the subsystem for a federated run: stamp the site→grid
+    /// labelling onto the SoA mirror and size the per-grid scratch set.
+    pub(crate) fn set_federation(&mut self, grids: usize, grid_of: &[GridId]) {
+        self.site_table.set_grid_map(grid_of);
+        self.grid_scratch = vec![SelectScratch::default(); grids];
     }
 
     /// Per-campaign progress: `(dataset, state, done, total)`.
@@ -125,13 +139,31 @@ impl Brokering {
         job
     }
 
+    /// The retry policy governing placement backoff for `spec`'s jobs:
+    /// the resilience layer's when the grid is operated, else — in
+    /// federated runs — the VO's home-grid compute backend's (each
+    /// middleware stack shipped its own retry discipline), else none:
+    /// baseline single-grid jobs fail fast exactly as before.
+    fn retry_policy(fabric: &GridFabric, spec: &JobSpec) -> Option<RetryPolicy> {
+        if let Some(r) = &fabric.resilience {
+            return Some(r.config().retry.clone());
+        }
+        if !fabric.federation.is_single() {
+            let g = fabric.federation.home_grid(spec.class.vo());
+            return Some(
+                fabric.federation.grids()[g.index()]
+                    .backend
+                    .compute()
+                    .retry_policy(),
+            );
+        }
+        None
+    }
+
     /// Whether a transient placement failure on `attempt` gets another
-    /// try under the resilience layer's retry policy.
-    fn can_retry(fabric: &GridFabric, attempt: u32) -> bool {
-        fabric
-            .resilience
-            .as_ref()
-            .is_some_and(|r| r.config().retry.allows(attempt))
+    /// try under the effective retry policy.
+    fn can_retry(fabric: &GridFabric, spec: &JobSpec, attempt: u32) -> bool {
+        Self::retry_policy(fabric, spec).is_some_and(|p| p.allows(attempt))
     }
 
     /// Park a job for re-brokering after its backoff (deterministically
@@ -147,12 +179,8 @@ impl Brokering {
         affinity: f64,
         attempt: u32,
     ) {
-        let delay = fabric
-            .resilience
-            .as_ref()
-            .expect("retry implies resilience")
-            .config()
-            .retry
+        let delay = Self::retry_policy(fabric, &spec)
+            .expect("retry implies a policy")
             .delay(attempt, u64::from(job.0));
         self.retry_state.insert(job, (spec, affinity, attempt + 1));
         ctx.queue.schedule_at(
@@ -185,50 +213,60 @@ impl Brokering {
         // health veto (a no-op in baseline runs, so `select_table`
         // degenerates to `select`) are applied inside the single scan.
         self.site_table.refresh(&fabric.center.mds);
-        #[cfg(debug_assertions)]
-        let mut reference_rng = ctx.broker_rng.clone();
-        let selected = self.broker.select_table(
-            &spec,
-            affinity,
-            &self.site_table,
-            now,
-            |s| fabric.topo.is_online(s, now),
-            |s| {
-                fabric
-                    .resilience
-                    .as_ref()
-                    .is_some_and(|r| r.is_banned(s, now))
-            },
-            &mut self.scratch,
-            &mut ctx.broker_rng,
-        );
-        // Debug builds replay the selection through the uncached
-        // reference broker on a cloned RNG — the fast path must be
-        // bit-identical, not just plausible.
-        #[cfg(debug_assertions)]
-        {
-            let records = fabric.center.mds.fresh_records(now);
-            let online: Vec<&grid3_middleware::mds::GlueRecord> = records
-                .into_iter()
-                .filter(|r| fabric.topo.is_online(r.site, now))
-                .collect();
-            debug_assert_eq!(
-                selected,
-                self.broker
-                    .select_filtered(&spec, affinity, &online, &mut reference_rng, |s| {
-                        fabric
-                            .resilience
-                            .as_ref()
-                            .is_some_and(|r| r.is_banned(s, now))
-                    }),
-                "SoA fast path diverged from the reference broker"
+        let selected = if fabric.federation.is_single() {
+            #[cfg(debug_assertions)]
+            let mut reference_rng = ctx.broker_rng.clone();
+            let selected = self.broker.select_table(
+                &spec,
+                affinity,
+                &self.site_table,
+                now,
+                |s| fabric.topo.is_online(s, now),
+                |s| {
+                    fabric
+                        .resilience
+                        .as_ref()
+                        .is_some_and(|r| r.is_banned(s, now))
+                },
+                &mut self.scratch,
+                &mut ctx.broker_rng,
             );
-        }
+            // Debug builds replay the selection through the uncached
+            // reference broker on a cloned RNG — the fast path must be
+            // bit-identical, not just plausible.
+            #[cfg(debug_assertions)]
+            {
+                let records = fabric.center.mds.fresh_records(now);
+                let online: Vec<&grid3_middleware::mds::GlueRecord> = records
+                    .into_iter()
+                    .filter(|r| fabric.topo.is_online(r.site, now))
+                    .collect();
+                debug_assert_eq!(
+                    selected,
+                    self.broker.select_filtered(
+                        &spec,
+                        affinity,
+                        &online,
+                        &mut reference_rng,
+                        |s| {
+                            fabric
+                                .resilience
+                                .as_ref()
+                                .is_some_and(|r| r.is_banned(s, now))
+                        }
+                    ),
+                    "SoA fast path diverged from the reference broker"
+                );
+            }
+            selected
+        } else {
+            self.select_federated(fabric, now, &spec, affinity, &mut ctx.broker_rng)
+        };
         let Some(site) = selected else {
             // An empty grid view is usually transient (MDS records expired
             // during a monitoring gap, or every candidate mid-outage):
             // worth a backoff-retry before declaring the job unplaceable.
-            if Self::can_retry(fabric, attempt) {
+            if Self::can_retry(fabric, &spec, attempt) {
                 self.schedule_retry(ctx, fabric, now, job, spec, affinity, attempt);
                 return;
             }
@@ -272,10 +310,8 @@ impl Brokering {
             // Transient refusals (overload, service down) back off and
             // re-broker instead of dying on first contact — the GRAM
             // retry policy decides which errors are worth it.
-            let retry = fabric
-                .resilience
-                .as_ref()
-                .is_some_and(|r| r.config().retry.should_retry(attempt, &err));
+            let retry =
+                Self::retry_policy(fabric, &spec).is_some_and(|p| p.should_retry(attempt, &err));
             if retry {
                 self.schedule_retry(ctx, fabric, now, job, spec, affinity, attempt);
                 return;
@@ -354,6 +390,9 @@ impl Brokering {
 
         let src = archive;
         let input = spec.input_bytes;
+        // Evaluated before `spec` moves into the job record: whether a
+        // stage-in that cannot start re-brokers or dies.
+        let stage_in_retry = Self::can_retry(fabric, &spec, attempt);
         fabric.jobs.insert(
             job,
             ActiveJob {
@@ -405,6 +444,15 @@ impl Brokering {
             };
             match started {
                 Some((xfer, finish)) => {
+                    // The paper's Figure-5 challenge, federated: inputs
+                    // whose VO archive sits in another member grid ride
+                    // inter-grid GridFTP replication, and the report
+                    // accounts for them separately.
+                    if !fabric.federation.is_single()
+                        && fabric.federation.grid_of(src) != fabric.federation.grid_of(site)
+                    {
+                        fabric.federation.record_cross_stage_in(input);
+                    }
                     fabric
                         .transfer_purpose
                         .insert(xfer, TransferPurpose::JobStageIn(job));
@@ -420,7 +468,7 @@ impl Brokering {
                     // execution site can do nothing about), or the replica
                     // catalog fed us a stale answer. Re-broker after
                     // backoff rather than dying on the spot.
-                    if Self::can_retry(fabric, attempt) {
+                    if stage_in_retry {
                         self.park_for_retry(ctx, fabric, now, job, affinity, attempt);
                     } else {
                         fabric.fail_active_job(ctx, now, job, FailureCause::StageInFailure);
@@ -428,6 +476,64 @@ impl Brokering {
                 }
             }
         }
+    }
+
+    /// Cross-grid VO brokering: offer the job to the VO's home grid
+    /// first, then — in grid-id order — to every other member grid that
+    /// admits the VO *and* whose aggregated directory the federation
+    /// still trusts ([`grid3_middleware::mds::MdsPeering::is_live`]).
+    /// Within each grid, placement runs that grid's backend rank over
+    /// that grid's rows only, with its own scratch cache.
+    fn select_federated(
+        &mut self,
+        fabric: &GridFabric,
+        now: SimTime,
+        spec: &JobSpec,
+        affinity: f64,
+        rng: &mut SimRng,
+    ) -> Option<SiteId> {
+        let vo = spec.class.vo();
+        let fed = &fabric.federation;
+        let home = fed.home_grid(vo);
+        let order = std::iter::once(home).chain(
+            (0..fed.grids().len() as u32)
+                .map(GridId)
+                .filter(|g| *g != home),
+        );
+        for g in order {
+            let grid = &fed.grids()[g.index()];
+            if !grid.admits(vo) {
+                continue;
+            }
+            // A VO always trusts its home grid's directory (that is the
+            // directory its submit hosts query directly); foreign grids
+            // are reached through the federation-level index, which
+            // vetoes members whose aggregate looks stale.
+            if g != home && !fed.peering.is_live(g, now) {
+                continue;
+            }
+            let pick = self.broker.select_table_for(
+                spec,
+                affinity,
+                &self.site_table,
+                now,
+                Some(g),
+                grid.backend.info().rank_inputs(),
+                |s| fabric.topo.is_online(s, now),
+                |s| {
+                    fabric
+                        .resilience
+                        .as_ref()
+                        .is_some_and(|r| r.is_banned(s, now))
+                },
+                &mut self.grid_scratch[g.index()],
+                rng,
+            );
+            if pick.is_some() {
+                return pick;
+            }
+        }
+        None
     }
 
     /// Undo a placement whose stage-in could not start — release the

@@ -152,6 +152,11 @@ pub struct GridFabric {
     /// `false` in baseline runs, so every guard reading them is
     /// bit-neutral.
     pub chaos: ChaosState,
+    /// The federation layer: site→grid labelling, member-grid backends,
+    /// hierarchical MDS peering, and cross-grid accounting. Degenerate
+    /// (one `Vdt` grid) in non-federated runs — every multi-grid branch
+    /// is gated on [`crate::federation::FederationState::is_single`].
+    pub federation: crate::federation::FederationState,
 }
 
 impl GridFabric {
@@ -160,6 +165,29 @@ impl GridFabric {
     pub fn drain_netlogger(&mut self) {
         let events = self.gridftp.drain_log();
         self.center.netlogger.ingest_all(events.iter());
+    }
+
+    /// Sync the federation-level directory from each member grid's
+    /// slice of the MDS: per grid, the newest record timestamp among
+    /// its sites becomes the peering view's freshness. Runs once per
+    /// monitor sweep in multi-grid runs (reporting calls it); a no-op
+    /// single-grid, where the peering table is never consulted.
+    pub fn sync_federation(&mut self, now: SimTime) {
+        if self.federation.is_single() {
+            return;
+        }
+        for g in 0..self.federation.grids().len() {
+            let gid = grid3_simkit::ids::GridId(g as u32);
+            let freshest = self.center.mds.newest_timestamp(
+                self.sites
+                    .iter()
+                    .map(|s| s.id)
+                    .filter(|&s| self.federation.grid_of(s) == gid),
+            );
+            if let Some(ts) = freshest {
+                self.federation.peering.sync(gid, ts, now);
+            }
+        }
     }
 
     /// Open a GridFTP transfer span (no-op when telemetry is disabled).

@@ -204,6 +204,10 @@ impl FaultHandling {
             SiteState::Unvalidated
         };
         self.site_ledger.record(state, success);
+        // Per-grid efficiency split, mirroring the site-state ledger
+        // above (and its NoEligibleSite skip). The tally is plain
+        // counters outside the report hash's view in single-grid runs.
+        fabric.federation.record_outcome(site, success);
 
         let Some(r) = &mut fabric.resilience else {
             return;

@@ -488,6 +488,10 @@ pub struct EngineCtx {
     /// fault-handling, and chaos paths append operational events here;
     /// the stream lives beside the report, never inside it.
     pub ops: crate::ops::OpsJournal,
+    /// The federation's site→grid labelling (empty single-grid map in
+    /// non-federated runs). Subsystems resolve a [`grid3_simkit::ids::GridId`]
+    /// from it without reaching into the fabric.
+    pub grid_of: crate::federation::GridMap,
     pub(crate) immediates: Vec<GridEvent>,
     /// Spare drain buffers recycled by the router so each dispatch level
     /// swaps in a pre-warmed `Vec` instead of growing a fresh one. Depth
@@ -632,6 +636,7 @@ mod tests {
             telemetry: Telemetry::disabled(),
             traces: grid3_monitoring::trace::TraceStore::new(),
             ops: crate::ops::OpsJournal::disabled(),
+            grid_of: crate::federation::GridMap::default(),
             immediates: Vec::new(),
             drain_pool: Vec::new(),
             timer_pool: Vec::new(),

@@ -31,6 +31,10 @@ pub struct Reporting {
     /// Reusable agent-sample buffer: one tick sweeps every site through
     /// it, so steady-state monitoring allocates nothing per site.
     metric_buf: Vec<MetricEvent>,
+    /// Monitor sweeps completed so far — the clock that paces each
+    /// backend's GRIS republish cadence (EDG/LCG publishes every second
+    /// sweep; `Vdt` every sweep, keeping the legacy fast path).
+    ticks: u64,
 }
 
 impl Reporting {
@@ -41,19 +45,32 @@ impl Reporting {
             viewer,
             bytes_delivered: Bytes::ZERO,
             metric_buf: Vec::new(),
+            ticks: 0,
         }
     }
 
     fn on_monitor_tick(&mut self, ctx: &mut EngineCtx, fabric: &mut GridFabric, now: SimTime) {
-        // GRIS republish + Ganglia/MonALISA agents.
+        let tick = self.ticks;
+        self.ticks += 1;
+        // GRIS republish + Ganglia/MonALISA agents. Each site publishes
+        // its grid's software tag at its grid's refresh cadence — the
+        // `Vdt` reference backend republishes "VDT-1.1.8" every sweep,
+        // exactly the legacy behaviour (and the `publish_refresh` fast
+        // path, which keys on an unchanged tag).
         for i in 0..fabric.sites.len() {
             if !fabric.topo.is_online(fabric.sites[i].id, now) {
                 continue;
             }
-            fabric
-                .center
-                .mds
-                .publish_refresh(&fabric.sites[i], "VDT-1.1.8", now);
+            let info = fabric.federation.grids()
+                [fabric.federation.grid_of(fabric.sites[i].id).index()]
+            .backend
+            .info();
+            if tick.is_multiple_of(info.refresh_period_ticks()) {
+                fabric
+                    .center
+                    .mds
+                    .publish_refresh(&fabric.sites[i], info.software_tag(), now);
+            }
             // A sensor blackout (chaos fault) silences the site's
             // Ganglia/MonALISA agents; the GRIS keeps publishing — the
             // information system and the monitoring fabric fail
@@ -75,6 +92,9 @@ impl Reporting {
                 fabric.center.monalisa.ingest(ev);
             }
         }
+        // Hierarchical MDS peering: fold this sweep's per-grid directory
+        // freshness into the federation-level index (a no-op single-grid).
+        fabric.sync_federation(now);
         // Status-probe escalation to tickets. Sites cut off from the IGOC
         // (chaos partition) cannot be probed; sites in sensor blackout
         // answer nothing either.

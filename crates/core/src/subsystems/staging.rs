@@ -166,9 +166,19 @@ impl Staging {
             fabric.fail_active_job(ctx, now, job, FailureCause::StageOutFailure);
             return;
         }
-        // RLS registration (§6.1 counts it in the lifecycle).
+        // RLS registration (§6.1 counts it in the lifecycle). Failure
+        // odds come from the archive grid's replica backend — `Vdt`
+        // reproduces the legacy 0.002, and `chance()` consumes one draw
+        // whatever the probability, so single-grid streams are untouched.
         if registers {
-            if ctx.fate_rng.chance(0.002) {
+            let reg_fail = {
+                let g = fabric.federation.grid_of(archive);
+                fabric.federation.grids()[g.index()]
+                    .backend
+                    .replica()
+                    .registration_failure_chance()
+            };
+            if ctx.fate_rng.chance(reg_fail) {
                 fabric.fail_active_job(ctx, now, job, FailureCause::RegistrationFailure);
                 return;
             }

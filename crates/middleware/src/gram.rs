@@ -226,6 +226,20 @@ impl GramError {
     }
 }
 
+impl std::fmt::Display for GramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GramError::Overloaded { load } => {
+                write!(f, "gatekeeper overloaded (1-minute load {load:.1})")
+            }
+            GramError::ServiceDown => write!(f, "gatekeeper service down"),
+            GramError::UnknownJob => write!(f, "job not managed by this gatekeeper"),
+        }
+    }
+}
+
+impl std::error::Error for GramError {}
+
 /// Exponential-backoff retry discipline for GRAM submissions, the
 /// automated version of what "Running CMS software on GRID Testbeds"
 /// reports operators doing by hand: resubmit refused jobs after a

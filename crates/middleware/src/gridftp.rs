@@ -64,6 +64,21 @@ pub enum TransferError {
     Truncated,
 }
 
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferError::EndpointDown(site) => write!(f, "endpoint {site} down at start"),
+            TransferError::KilledBySiteFailure(site) => {
+                write!(f, "transfer killed by failure at {site}")
+            }
+            TransferError::UnknownTransfer => write!(f, "unknown transfer id"),
+            TransferError::Truncated => write!(f, "stream cut mid-transfer (partial delivered)"),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
 /// Result of truncating an in-flight transfer: the failed outcome (with
 /// partial `delivered` bytes) plus the bytes that never made it, from
 /// which the caller can issue a checksum-verified resume transfer.

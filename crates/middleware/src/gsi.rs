@@ -95,6 +95,18 @@ pub enum AuthError {
     UntrustedIssuer,
 }
 
+impl std::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthError::Expired => write!(f, "certificate expired"),
+            AuthError::NotMapped => write!(f, "DN not present in the grid-map file"),
+            AuthError::UntrustedIssuer => write!(f, "certificate not signed by a trusted CA"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
 /// A site's grid-map file: DN → local (group) account.
 ///
 /// §5.3: "We also used group accounts at sites, with a naming convention

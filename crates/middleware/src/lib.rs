@@ -18,9 +18,13 @@
 //! * [`gram`] — the GRAM gatekeeper with the §6.4 empirical load model
 //!   (sustained 1-minute load ≈225 while managing ≈1000 jobs, multiplied
 //!   2–4× by file staging, spiking under high submission frequency).
+//! * [`backend`] — pluggable middleware personalities: the [`backend::Vdt`]
+//!   reference bundle (the constants above) and the contrasting
+//!   [`backend::EdgLcg`] flavour, selected per grid in federated runs.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod gram;
 pub mod gridftp;
 pub mod gsi;
@@ -28,9 +32,10 @@ pub mod mds;
 pub mod rls;
 pub mod voms;
 
+pub use backend::{BackendKind, ComputeBackend, InfoBackend, RankInputs, ReplicaBackend};
 pub use gram::{Gatekeeper, GramError};
 pub use gridftp::{GridFtp, TransferOutcome, TransferRequest};
 pub use gsi::{Certificate, CertificateAuthority, GridMapFile};
-pub use mds::{GiisIndex, GlueRecord, MdsDirectory};
+pub use mds::{GiisIndex, GlueRecord, MdsDirectory, MdsPeering};
 pub use rls::ReplicaLocationService;
 pub use voms::VomsServer;

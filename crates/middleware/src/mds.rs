@@ -13,7 +13,7 @@
 //! top-level [`MdsDirectory`] at the iGOC aggregates everything with a TTL
 //! so stale sites drop out of brokering.
 
-use grid3_simkit::ids::SiteId;
+use grid3_simkit::ids::{GridId, SiteId};
 use grid3_simkit::telemetry::{Counter, Telemetry};
 use grid3_simkit::time::{SimDuration, SimTime};
 use grid3_simkit::units::{Bandwidth, Bytes};
@@ -361,6 +361,104 @@ impl MdsDirectory {
     /// True when no records are held.
     pub fn is_empty(&self) -> bool {
         self.live == 0
+    }
+
+    /// The newest record timestamp among `sites` — what a federation
+    /// peer sees as this directory slice's freshness. `None` when no
+    /// listed site has ever published.
+    pub fn newest_timestamp(&self, sites: impl Iterator<Item = SiteId>) -> Option<SimTime> {
+        sites
+            .filter_map(|s| self.lookup(s).map(|r| r.timestamp))
+            .max()
+    }
+}
+
+/// Hierarchical MDS peering: the federation-level directory that
+/// aggregates per-grid directories *with staleness*.
+///
+/// Grid3's top-level iGOC index aggregated per-site GRISes; a federation
+/// adds one more level, where each member grid's directory registers
+/// with a federation index the way GRISes register with a GIIS. The
+/// peering view is deliberately lossy: all the federation tracks per
+/// grid is how fresh that grid's directory looks (its newest record
+/// timestamp) and a monotonic sync epoch. Cross-grid brokering consults
+/// [`MdsPeering::is_live`] before offering another grid's sites — a
+/// grid whose directory has gone stale (e.g. its GRISes frozen by the
+/// `MdsStaleness` chaos fault) is vetoed at the federation level even
+/// though its own records may still look individually fresh to it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MdsPeering {
+    /// Staleness horizon: a grid whose directory freshness lags `now`
+    /// by more than this is vetoed for cross-grid placement.
+    staleness: SimDuration,
+    /// Dense by grid index: newest record timestamp last synced.
+    freshest: Vec<SimTime>,
+    /// Dense by grid index: sync epoch, bumped whenever `freshest`
+    /// advances.
+    epoch: Vec<u64>,
+    /// Dense by grid index: when the last sync ran.
+    synced: Vec<SimTime>,
+}
+
+impl MdsPeering {
+    /// A peering table over `grids` member directories, none synced yet.
+    pub fn new(grids: usize, staleness: SimDuration) -> Self {
+        MdsPeering {
+            staleness,
+            freshest: vec![SimTime::EPOCH; grids],
+            epoch: vec![0; grids],
+            synced: vec![SimTime::EPOCH; grids],
+        }
+    }
+
+    /// Number of member grids.
+    pub fn grid_count(&self) -> usize {
+        self.freshest.len()
+    }
+
+    /// The staleness horizon in force.
+    pub fn staleness(&self) -> SimDuration {
+        self.staleness
+    }
+
+    /// Record a sync from one member grid's directory: `freshest_ts` is
+    /// the newest record timestamp its slice of the world currently
+    /// holds ([`MdsDirectory::newest_timestamp`]). The grid's epoch
+    /// advances only when its freshness does, so epoch skew across
+    /// grids measures exactly the cadence mismatch between their
+    /// information systems.
+    pub fn sync(&mut self, grid: GridId, freshest_ts: SimTime, now: SimTime) {
+        let g = grid.index();
+        if g >= self.freshest.len() {
+            return;
+        }
+        if freshest_ts > self.freshest[g] {
+            self.freshest[g] = freshest_ts;
+            self.epoch[g] += 1;
+        }
+        self.synced[g] = now;
+    }
+
+    /// Whether a grid's aggregated directory is live at `now`: its
+    /// newest synced record is within the staleness horizon. A grid
+    /// that never synced is not live.
+    pub fn is_live(&self, grid: GridId, now: SimTime) -> bool {
+        let g = grid.index();
+        self.epoch.get(g).is_some_and(|&e| e > 0) && now.since(self.freshest[g]) <= self.staleness
+    }
+
+    /// A grid's sync epoch (0 = never synced fresh data).
+    pub fn epoch_of(&self, grid: GridId) -> u64 {
+        self.epoch.get(grid.index()).copied().unwrap_or(0)
+    }
+
+    /// Largest epoch difference between any two member grids — the
+    /// federation-level measure of information-cadence mismatch.
+    pub fn epoch_skew(&self) -> u64 {
+        match (self.epoch.iter().max(), self.epoch.iter().min()) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0,
+        }
     }
 }
 

@@ -32,6 +32,19 @@ pub enum RlsError {
     },
 }
 
+impl std::fmt::Display for RlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RlsError::UnknownLfn(lfn) => write!(f, "no replica registered for {lfn}"),
+            RlsError::NoSuchReplica { lfn, site } => {
+                write!(f, "no replica of {lfn} registered at {site}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RlsError {}
+
 /// The grid-wide replica service: per-site LRCs plus the global RLI.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ReplicaLocationService {

@@ -122,6 +122,14 @@ define_id!(
     "tkt-"
 );
 
+define_id!(
+    /// One grid within a federation (grid 0 is the sole grid of a
+    /// non-federated run).
+    GridId,
+    GridIdGen,
+    "grid-"
+);
+
 /// A compact map keyed by a typed id, backed by a dense `Vec`.
 ///
 /// Entities in the simulation are allocated densely from id 0, so a vector
@@ -194,7 +202,7 @@ macro_rules! impl_into_u32 {
     };
 }
 
-impl_into_u32!(SiteId, NodeId, JobId, FileId, TransferId, UserId, WorkflowId, TicketId);
+impl_into_u32!(SiteId, NodeId, JobId, FileId, TransferId, UserId, WorkflowId, TicketId, GridId);
 
 #[cfg(test)]
 mod tests {

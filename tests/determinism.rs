@@ -27,7 +27,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// Golden hashes recorded from the pre-refactor monolithic engine at
 /// 2 % workload scale over the full 30-day windows (demo included).
-const GOLDEN: [(&str, u64, u64); 8] = [
+const GOLDEN: [(&str, u64, u64); 9] = [
     ("sc2003", 2003, 0x9a81fc63ba6ab37f),
     ("sc2003_operated", 2003, 0x4890551a29889f49),
     ("sc2003", 7, 0x26e1d0268b73dbe9),
@@ -41,6 +41,10 @@ const GOLDEN: [(&str, u64, u64); 8] = [
     // the chaos layer landed: seeded fault replay must stay bit-identical
     // (identical in debug and release builds).
     ("sc2003_chaos", 2003, 0x428edf429c32422b),
+    // The two-grid federated scenario (VDT grid3 + EDG/LCG grid, MDS
+    // peering, cross-grid stage-ins), recorded when the federation layer
+    // landed (identical in debug and release builds).
+    ("sc2003_federated", 2003, 0x11d025ba3c2cec18),
 ];
 
 fn config(scenario: &str, seed: u64) -> ScenarioConfig {
@@ -48,6 +52,7 @@ fn config(scenario: &str, seed: u64) -> ScenarioConfig {
         "sc2003" => ScenarioConfig::sc2003(),
         "sc2003_operated" => ScenarioConfig::sc2003_operated(),
         "sc2003_chaos" => ScenarioConfig::sc2003_chaos(),
+        "sc2003_federated" => ScenarioConfig::sc2003_federated(),
         other => panic!("unknown scenario {other}"),
     };
     base.with_scale(0.02).with_seed(seed)

@@ -5,8 +5,11 @@
 //! available offline). Supports the shapes this workspace actually derives:
 //! named structs, tuple structs (newtype-transparent at arity 1), unit
 //! structs, and enums with unit/tuple/struct variants — all optionally
-//! generic. Field attributes like `#[serde(...)]` are NOT supported; the
-//! workspace does not use them.
+//! generic. The only field attributes supported are the three the
+//! workspace uses on named fields: `#[serde(default)]`,
+//! `#[serde(default = "path")]`, and
+//! `#[serde(skip_serializing_if = "path")]`; any other `#[serde(...)]`
+//! argument is a compile-time panic rather than a silent no-op.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -14,10 +17,21 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 // A tiny item parser
 // ---------------------------------------------------------------------------
 
+/// One named field plus the serde attributes the workspace uses.
+struct Field {
+    name: String,
+    /// `Some(None)` = `#[serde(default)]` (use `Default::default()`),
+    /// `Some(Some(path))` = `#[serde(default = "path")]` (call `path()`).
+    default: Option<Option<String>>,
+    /// `#[serde(skip_serializing_if = "path")]`: omit the key when
+    /// `path(&field)` holds.
+    skip_if: Option<String>,
+}
+
 enum Shape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Variant {
@@ -133,16 +147,72 @@ fn tuple_arity(group: TokenStream) -> usize {
     arity
 }
 
-/// Parse a `{ name: Type, ... }` body into field names.
-fn parse_named_fields(group: TokenStream) -> Vec<String> {
+/// Parse the arguments of one `#[serde(...)]` attribute into the field
+/// meta slots. Unknown arguments panic: better a loud build break than a
+/// silently ignored attribute changing wire shape.
+fn parse_serde_args(
+    stream: TokenStream,
+    default: &mut Option<Option<String>>,
+    skip_if: &mut Option<String>,
+) {
+    let mut iter: TokenIter = stream.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        let TokenTree::Ident(id) = tt else { continue };
+        let key = id.to_string();
+        let value = if matches!(iter.peek(), Some(t) if is_punct(t, '=')) {
+            iter.next();
+            match iter.next() {
+                Some(TokenTree::Literal(lit)) => {
+                    Some(lit.to_string().trim_matches('"').to_string())
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        match key.as_str() {
+            "default" => *default = Some(value),
+            "skip_serializing_if" => {
+                *skip_if = Some(value.expect("serde_derive: skip_serializing_if needs a path"))
+            }
+            other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Skip attributes, harvesting the supported `#[serde(...)]` arguments.
+fn collect_field_attrs(iter: &mut TokenIter) -> (Option<Option<String>>, Option<String>) {
+    let mut default = None;
+    let mut skip_if = None;
+    while matches!(iter.peek(), Some(tt) if is_punct(tt, '#')) {
+        iter.next();
+        let Some(TokenTree::Group(attr)) = iter.next() else {
+            break;
+        };
+        let mut inner: TokenIter = attr.stream().into_iter().peekable();
+        if matches!(inner.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            if let Some(TokenTree::Group(args)) = inner.next() {
+                parse_serde_args(args.stream(), &mut default, &mut skip_if);
+            }
+        }
+    }
+    (default, skip_if)
+}
+
+/// Parse a `{ name: Type, ... }` body into fields with their attributes.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
     let mut iter: TokenIter = group.into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        skip_attrs(&mut iter);
+        let (default, skip_if) = collect_field_attrs(&mut iter);
         skip_visibility(&mut iter);
         let Some(tt) = iter.next() else { break };
         let TokenTree::Ident(name) = tt else { break };
-        fields.push(name.to_string());
+        fields.push(Field {
+            name: name.to_string(),
+            default,
+            skip_if,
+        });
         // Consume `: Type` up to the next top-level comma.
         let mut depth = 0usize;
         for tt in iter.by_ref() {
@@ -277,6 +347,39 @@ fn impl_header(item: &Item, trait_name: &str) -> String {
     }
 }
 
+/// Serialize a named-field body into a `::serde::Value::Object`
+/// expression. `access` prefixes each field name (`"&self."` for
+/// structs, `""` for enum-variant bindings). Fields carrying
+/// `skip_serializing_if` force the statement form that conditionally
+/// omits their key.
+fn named_object_expr(fields: &[Field], access: &str) -> String {
+    let entry = |f: &Field| {
+        format!(
+            "(\"{n}\".to_string(), ::serde::Serialize::to_value({access}{n}))",
+            n = f.name
+        )
+    };
+    if fields.iter().all(|f| f.skip_if.is_none()) {
+        let entries: Vec<String> = fields.iter().map(entry).collect();
+        return format!("::serde::Value::Object(vec![{}])", entries.join(", "));
+    }
+    let mut stmts = vec![format!(
+        "let mut __obj: Vec<(String, ::serde::Value)> = Vec::with_capacity({});",
+        fields.len()
+    )];
+    for f in fields {
+        match &f.skip_if {
+            None => stmts.push(format!("__obj.push({});", entry(f))),
+            Some(path) => stmts.push(format!(
+                "if !{path}({access}{n}) {{ __obj.push({e}); }}",
+                n = f.name,
+                e = entry(f)
+            )),
+        }
+    }
+    format!("{{ {} ::serde::Value::Object(__obj) }}", stmts.join(" "))
+}
+
 fn gen_serialize(item: &Item) -> String {
     let body = match &item.data {
         Data::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
@@ -287,13 +390,7 @@ fn gen_serialize(item: &Item) -> String {
                 .collect();
             format!("::serde::Value::Array(vec![{}])", elems.join(", "))
         }
-        Data::Struct(Shape::Named(fields)) => {
-            let entries: Vec<String> = fields
-                .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
-                .collect();
-            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
-        }
+        Data::Struct(Shape::Named(fields)) => named_object_expr(fields, "&self."),
         Data::Enum(variants) => {
             let mut arms = Vec::new();
             for v in variants {
@@ -320,16 +417,11 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     Shape::Named(fields) => {
-                        let entries: Vec<String> = fields
-                            .iter()
-                            .map(|f| {
-                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
-                            })
-                            .collect();
+                        let names: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         arms.push(format!(
-                            "{ty}::{vn} {{ {fields} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),",
-                            fields = fields.join(", "),
-                            entries = entries.join(", ")
+                            "{ty}::{vn} {{ {names} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),",
+                            names = names.join(", "),
+                            inner = named_object_expr(fields, "")
                         ));
                     }
                 }
@@ -343,13 +435,24 @@ fn gen_serialize(item: &Item) -> String {
     )
 }
 
-/// Expression deserializing one named field from object `__v`.
-fn field_from_object(ty: &str, f: &str) -> String {
+/// Expression deserializing one named field from object `__v`. A field
+/// with `#[serde(default)]`/`#[serde(default = "path")]` falls back to
+/// its default when the key is absent; otherwise a missing key is lifted
+/// from `Null` (so `Option` fields read `None`) or reported missing.
+fn field_from_object(ty: &str, f: &Field) -> String {
+    let n = &f.name;
+    let missing = match &f.default {
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+        None => format!(
+            "::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| \
+                ::serde::DeError::msg(concat!(\"missing field `{n}` in \", \"{ty}\")))?"
+        ),
+    };
     format!(
-        "{f}: match __v.get(\"{f}\") {{ \
+        "{n}: match __v.get(\"{n}\") {{ \
             Some(__x) => ::serde::Deserialize::from_value(__x)?, \
-            None => ::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| \
-                ::serde::DeError::msg(concat!(\"missing field `{f}` in \", \"{ty}\")))?, \
+            None => {missing}, \
         }}"
     )
 }
@@ -447,7 +550,7 @@ fn gen_deserialize(item: &Item) -> String {
 }
 
 /// Derive the vendored `serde::Serialize` (value-lowering) implementation.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -456,7 +559,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive the vendored `serde::Deserialize` (value-lifting) implementation.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
