@@ -12,7 +12,7 @@
 //! totals and peaks); they are chosen to sum to the published totals with
 //! the published peak month, and are documented in EXPERIMENTS.md.
 
-use grid3_simkit::dist::{DurationDist, SizeDist};
+use grid3_simkit::dist::{ArrivalProcess, DurationDist, SizeDist};
 use grid3_simkit::ids::UserId;
 use grid3_simkit::rng::SimRng;
 use grid3_simkit::time::{month_bounds, SimDuration, SimTime};
@@ -71,6 +71,12 @@ pub struct WorkloadSpec {
     /// sustained operations" and hit its 1300-concurrent-jobs peak on
     /// Nov 20 (§7).
     pub sc2003_surge_frac: f64,
+    /// Optional declarative arrival process. `None` (the default, and what
+    /// every built-in workload uses) keeps the legacy monthly-uniform
+    /// layout driven by `monthly_jobs`; `Some` replaces it entirely —
+    /// submission instants come from the process over the same window.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub arrivals: Option<ArrivalProcess>,
 }
 
 /// First day (from epoch) of the SC2003 week: Nov 15, 2003.
@@ -98,6 +104,9 @@ impl WorkloadSpec {
     /// instants are uniform within each month; users are assigned with
     /// the admin taking `admin_share` of submissions.
     pub fn schedule(&self, rng: &mut SimRng, first_user: UserId) -> Vec<Submission> {
+        if let Some(process) = &self.arrivals {
+            return self.schedule_process(process, rng, first_user);
+        }
         let mut subs = Vec::with_capacity(self.total_jobs() as usize);
         for (month, &count) in self.monthly_jobs.iter().enumerate() {
             let (start, end) = month_bounds(month as u32);
@@ -121,6 +130,29 @@ impl WorkloadSpec {
             }
         }
         subs.sort_by_key(|s| s.at);
+        subs
+    }
+
+    /// Schedule via a declarative arrival process over the workload's
+    /// month window (`monthly_jobs.len()` months from the epoch).
+    fn schedule_process(
+        &self,
+        process: &ArrivalProcess,
+        rng: &mut SimRng,
+        first_user: UserId,
+    ) -> Vec<Submission> {
+        let months = self.monthly_jobs.len().max(1) as u32;
+        let (window_start, _) = month_bounds(0);
+        let (_, window_end) = month_bounds(months - 1);
+        let window = window_end.since(window_start);
+        let mut subs = Vec::new();
+        for offset in process.arrivals(rng, window) {
+            let user = self.pick_user(rng, first_user);
+            subs.push(Submission {
+                at: window_start + offset,
+                spec: self.sample_spec(rng, user),
+            });
+        }
         subs
     }
 
@@ -197,6 +229,7 @@ pub fn grid3_workloads() -> Vec<WorkloadSpec> {
             walltime_underestimate_prob: 0.01,
             vo_affinity: 0.6,
             sc2003_surge_frac: 0.6,
+            arrivals: None,
         },
         // iVDGL (SnB + GADU): 24 users, 58145 jobs, avg 1.22 h,
         // max 291.74 h, peak 11-2003 (25722, 88.1 % from one site).
@@ -221,6 +254,7 @@ pub fn grid3_workloads() -> Vec<WorkloadSpec> {
             walltime_underestimate_prob: 0.02,
             vo_affinity: 0.85,
             sc2003_surge_frac: 0.55,
+            arrivals: None,
         },
         // LIGO: 7 users, 3 completed jobs at 1 site (the S2 pulsar-search
         // infrastructure shakedown), ≈36 s runtimes.
@@ -239,6 +273,7 @@ pub fn grid3_workloads() -> Vec<WorkloadSpec> {
             walltime_underestimate_prob: 0.0,
             vo_affinity: 1.0,
             sc2003_surge_frac: 0.0,
+            arrivals: None,
         },
         // SDSS: 9 users, 5410 jobs, avg 1.46 h, max 152.90 h, peak 02-2004.
         WorkloadSpec {
@@ -262,6 +297,7 @@ pub fn grid3_workloads() -> Vec<WorkloadSpec> {
             walltime_underestimate_prob: 0.02,
             vo_affinity: 0.6,
             sc2003_surge_frac: 0.3,
+            arrivals: None,
         },
         // USATLAS: 25 users, 7455 jobs, avg 8.81 h, max 292.40 h,
         // peak 11-2003 (3198, spread across 17 sites — 28.2 % max share).
@@ -287,6 +323,7 @@ pub fn grid3_workloads() -> Vec<WorkloadSpec> {
             walltime_underestimate_prob: 0.02,
             vo_affinity: 0.45,
             sc2003_surge_frac: 0.55,
+            arrivals: None,
         },
         // USCMS: 26 users, 19354 jobs, avg 41.85 h, max 1238.93 h,
         // peak 11-2003 (8834). The long-job class (OSCAR, §6.2).
@@ -312,6 +349,7 @@ pub fn grid3_workloads() -> Vec<WorkloadSpec> {
             walltime_underestimate_prob: 0.02,
             vo_affinity: 0.5,
             sc2003_surge_frac: 0.55,
+            arrivals: None,
         },
         // Exerciser: 3 users (the Condor group's service identities),
         // 198272 jobs, avg 0.13 h, max 36.45 h, peak 12-2003 (72224) —
@@ -332,6 +370,7 @@ pub fn grid3_workloads() -> Vec<WorkloadSpec> {
             walltime_underestimate_prob: 0.005,
             vo_affinity: 0.0, // deliberately sweeps every site
             sc2003_surge_frac: 0.55,
+            arrivals: None,
         },
     ]
 }
@@ -467,6 +506,33 @@ mod tests {
         let spec = ligo.sample_spec(&mut rng(), UserId(0));
         assert_eq!(spec.input_bytes, Bytes::from_gb(4));
         assert!(spec.registers_output);
+    }
+
+    #[test]
+    fn process_driven_schedule_replaces_monthly_layout() {
+        let w = grid3_workloads();
+        let mut spec = w
+            .iter()
+            .find(|s| s.class == UserClass::Sdss)
+            .unwrap()
+            .clone();
+        spec.arrivals = Some(ArrivalProcess::Periodic {
+            every: SimDuration::from_hours(6),
+            offset: SimDuration::ZERO,
+        });
+        let subs = spec.schedule(&mut rng(), UserId(100));
+        // Four per day over the 7-month (213-day) window, ignoring
+        // monthly_jobs entirely.
+        assert_eq!(subs.len() as f64, {
+            let (_, end) = month_bounds(6);
+            (end.since(SimTime::from_days(0)).as_hours_f64() / 6.0).ceil()
+        });
+        for pair in subs.windows(2) {
+            assert_eq!(pair[1].at.since(pair[0].at), SimDuration::from_hours(6));
+        }
+        // Deterministic under the same seed.
+        let again = spec.schedule(&mut rng(), UserId(100));
+        assert_eq!(subs, again);
     }
 
     #[test]

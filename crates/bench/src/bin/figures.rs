@@ -6,6 +6,16 @@
 //! cargo run --release -p grid3-bench --bin figures -- fig2 fig3 fig5
 //! ```
 //!
+//! Scenario-DSL front ends (scenarios as data, no code changes):
+//!
+//! ```sh
+//! figures -- --scenario scenarios/cms_igt_1m.json     # run one scenario file
+//! figures -- --trace mylog.jsonl                      # replay a submission log
+//! figures -- campaign scenarios                       # sweep a directory
+//! figures -- export-scenarios                         # regenerate scenarios/*.json
+//! figures -- smoke-scenarios                          # 1 sim-hour of every file
+//! ```
+//!
 //! Artifacts: ASCII tables on stdout and machine-readable JSON under
 //! `results/` (one file per scenario), so the numbers in EXPERIMENTS.md
 //! are auditable.
@@ -15,11 +25,55 @@ use grid3_core::report::Grid3Report;
 use grid3_core::scenario::ScenarioConfig;
 use grid3_site::vo::Vo;
 use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 
 const SEED: u64 = 2003;
 
 fn main() {
-    let args: BTreeSet<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Peel off the value-taking DSL modes before building the keyword set.
+    let mut args: BTreeSet<String> = BTreeSet::new();
+    let mut scenario_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut campaign_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < raw.len() {
+        let flag = raw[i].as_str();
+        if matches!(flag, "--scenario" | "--trace" | "campaign") {
+            let Some(v) = raw.get(i + 1) else {
+                eprintln!("[figures] {flag} needs a path argument");
+                std::process::exit(2);
+            };
+            let path = PathBuf::from(v);
+            match flag {
+                "--scenario" => scenario_path = Some(path),
+                "--trace" => trace_path = Some(path),
+                _ => campaign_dir = Some(path),
+            }
+            i += 2;
+        } else {
+            args.insert(flag.to_string());
+            i += 1;
+        }
+    }
+
+    if args.remove("export-scenarios") {
+        export_scenarios();
+        return;
+    }
+    if args.remove("smoke-scenarios") {
+        smoke_scenarios();
+        return;
+    }
+    if let Some(dir) = campaign_dir {
+        run_campaign_dir_cli(&dir);
+        return;
+    }
+    if scenario_path.is_some() || trace_path.is_some() {
+        run_scenario_cli(scenario_path.as_deref(), trace_path.as_deref());
+        return;
+    }
+
     let want = |k: &str| args.is_empty() || args.contains(k) || args.contains("all");
 
     std::fs::create_dir_all("results").ok();
@@ -418,6 +472,116 @@ fn main() {
     }
 
     eprintln!("[figures] done; JSON artifacts in results/");
+}
+
+/// `figures -- --scenario f.json [--trace log.jsonl]` /
+/// `figures -- --trace log.jsonl`: run one scenario file (default:
+/// the built-in sc2003) with an optional replayed submission log.
+fn run_scenario_cli(scenario: Option<&Path>, trace: Option<&Path>) {
+    let mut cfg = match scenario {
+        Some(path) => {
+            eprintln!("[figures] loading scenario {}…", path.display());
+            grid3_core::dsl::load_config(path).unwrap_or_else(|e| {
+                eprintln!("[figures] {e}");
+                std::process::exit(1);
+            })
+        }
+        None => ScenarioConfig::sc2003().with_seed(SEED),
+    };
+    if let Some(path) = trace {
+        eprintln!("[figures] loading trace {}…", path.display());
+        let log = grid3_core::dsl::JobTrace::load_jsonl(path).unwrap_or_else(|e| {
+            eprintln!("[figures] {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "[figures] replaying {} jobs from {} identities",
+            log.jobs.len(),
+            log.identities().len()
+        );
+        cfg = cfg.with_trace(log);
+    }
+    let report = cfg.run();
+    println!("{}", report.render_metrics());
+    println!("{}", report.render_efficiency());
+    let stem = scenario
+        .and_then(|p| p.file_stem())
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace_replay".to_string());
+    std::fs::create_dir_all("results").ok();
+    let out = format!("results/scenario_{stem}.json");
+    std::fs::write(&out, report.to_json()).ok();
+    eprintln!("[figures] wrote {out}");
+}
+
+/// `figures -- campaign <dir>`: sweep every scenario file in a
+/// directory across seeds and print the merged percentile bands.
+fn run_campaign_dir_cli(dir: &Path) {
+    let seeds: Vec<u64> = (1..=4).collect();
+    eprintln!(
+        "[figures] sweeping scenario files in {} across seeds {seeds:?}…",
+        dir.display()
+    );
+    let outcome = grid3_core::campaign::run_campaign_dir(dir, seeds).unwrap_or_else(|e| {
+        eprintln!("[figures] {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "Campaign — {} runs across {} scenario files",
+        outcome.summary.runs,
+        outcome.summary.variants.len()
+    );
+    for v in &outcome.summary.variants {
+        println!(
+            "  {:<24} efficiency p50 {:>6.3} [p5 {:>6.3} … p95 {:>6.3}]  jobs p50 {:>9.0}",
+            v.name, v.efficiency.p50, v.efficiency.p5, v.efficiency.p95, v.total_jobs.p50
+        );
+    }
+    std::fs::create_dir_all("results").ok();
+    let json = serde_json::to_string(&outcome.summary).expect("summary serializes");
+    std::fs::write("results/campaign.json", json).ok();
+    eprintln!("[figures] wrote results/campaign.json");
+}
+
+/// `figures -- export-scenarios`: regenerate `scenarios/<name>.json`
+/// from every built-in constructor (the files the conformance suite
+/// asserts byte-identical).
+fn export_scenarios() {
+    std::fs::create_dir_all("scenarios").ok();
+    for (name, cfg) in grid3_core::dsl::builtin_scenarios() {
+        let path = format!("scenarios/{name}.json");
+        std::fs::write(&path, grid3_core::dsl::export_config(&cfg))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("[figures] wrote {path}");
+    }
+}
+
+/// `figures -- smoke-scenarios`: load every committed scenario file and
+/// run one sim-hour of each (the CI gate that no file under `scenarios/`
+/// can rot).
+fn smoke_scenarios() {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir("scenarios")
+        .unwrap_or_else(|e| {
+            eprintln!("[figures] cannot read scenarios/: {e}");
+            std::process::exit(1);
+        })
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    for path in &paths {
+        let cfg = grid3_core::dsl::load_config(path).unwrap_or_else(|e| {
+            eprintln!("[figures] {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let report = cfg.with_horizon_hours(1).run();
+        println!(
+            "  {:<28} 1 sim-hour OK ({} job records)",
+            path.file_name().unwrap_or_default().to_string_lossy(),
+            report.total_jobs
+        );
+    }
+    eprintln!("[figures] smoked {} scenario files", paths.len());
 }
 
 fn count(r: &Grid3Report, cause: &str) -> u64 {

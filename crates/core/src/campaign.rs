@@ -12,6 +12,7 @@
 //! first, so the merged summary is independent of thread count and
 //! scheduling.
 
+use crate::dsl::DslError;
 use crate::report::Grid3Report;
 use crate::scenario::ScenarioConfig;
 use grid3_simkit::profiler::CostProfiler;
@@ -402,6 +403,53 @@ pub fn run_campaign_serial_observed(
         .map(|run| run_and_observe(plan, run, &done, total, observer))
         .collect();
     merge(plan, flat)
+}
+
+/// Build a campaign plan from a directory of scenario files: every
+/// `*.json` in `dir` becomes one variant, named by file stem, in
+/// filename order (sorted, so the plan — and therefore the outcome —
+/// is independent of directory-listing order).
+pub fn plan_from_dir(dir: &std::path::Path, seeds: Vec<u64>) -> Result<CampaignPlan, DslError> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| DslError::Io {
+            path: dir.display().to_string(),
+            msg: e.to_string(),
+        })?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(DslError::Io {
+            path: dir.display().to_string(),
+            msg: "no *.json scenario files found".to_string(),
+        });
+    }
+    let mut plan = CampaignPlan {
+        variants: Vec::with_capacity(paths.len()),
+        seeds,
+    };
+    for path in paths {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        plan.variants.push(CampaignVariant {
+            name,
+            cfg: crate::dsl::load_config(&path)?,
+        });
+    }
+    Ok(plan)
+}
+
+/// Sweep a directory of scenario files: load each `*.json` as a variant
+/// (via [`plan_from_dir`]) and run the cross product with `seeds` in
+/// parallel. The scenario files are data — a sweep needs no code.
+pub fn run_campaign_dir(
+    dir: &std::path::Path,
+    seeds: Vec<u64>,
+) -> Result<CampaignOutcome, DslError> {
+    Ok(run_campaign(&plan_from_dir(dir, seeds)?))
 }
 
 /// Run the plan on exactly `threads` OS threads (Rayon sizes itself from

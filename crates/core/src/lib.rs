@@ -63,6 +63,7 @@
 pub mod broker;
 pub mod campaign;
 pub mod chaos;
+pub mod dsl;
 pub mod engine;
 pub mod federation;
 pub mod ops;
@@ -76,6 +77,7 @@ pub mod topology;
 mod engine_tests;
 
 pub use chaos::{ChaosRates, FaultKind, FaultPlan, InvariantAuditor, PlannedFault, Violation};
+pub use dsl::{DslError, JobTrace, ScenarioDoc, TraceJob};
 pub use engine::{Grid3Engine, Simulation};
 pub use federation::{Federation, FederationState, GridMap, GridRuntime, GridSpec, GridTally};
 pub use ops::{OpsEventKind, OpsJournal, OpsRecord};

@@ -162,9 +162,14 @@ impl Grid3Report {
         // Table 1's "Number of Users" row counts *authorized* users per
         // class (LIGO lists 7 users against 3 jobs), so take the VOMS
         // population rather than distinct submitters.
-        for (stats, w) in table1.iter_mut().zip(sim.config().scaled_workloads()) {
-            debug_assert_eq!(stats.class, w.class);
-            stats.users = w.users as usize;
+        // Keyed by class (not position): scenario files may carry a
+        // workload subset, so the table can cover classes with no
+        // generator and vice versa.
+        let workloads = sim.config().scaled_workloads();
+        for stats in table1.iter_mut() {
+            if let Some(w) = workloads.iter().find(|w| w.class == stats.class) {
+                stats.users = w.users as usize;
+            }
         }
 
         let mut fig2 = BTreeMap::new();

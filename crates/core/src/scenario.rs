@@ -121,6 +121,30 @@ pub struct ScenarioConfig {
     /// so does an explicit one-grid `Vdt` federation).
     #[serde(default)]
     pub federation: Option<crate::federation::Federation>,
+    /// Override the synthetic workload set (`None` = the built-in seven
+    /// Table 1 classes). `Some(vec![])` disables synthetic workloads
+    /// entirely — pure trace-replay runs use that.
+    #[serde(default)]
+    pub workloads: Option<Vec<WorkloadSpec>>,
+    /// A per-job submission trace replayed verbatim alongside (or instead
+    /// of) the synthetic workloads. Trace jobs are fully specified, draw
+    /// no randomness, and are scheduled exactly at their logged instants.
+    #[serde(default)]
+    pub trace: Option<crate::dsl::JobTrace>,
+    /// Horizon override in whole hours. `None` (the default) keeps the
+    /// day-granular `days` horizon; `Some(h)` trumps it — the scenario
+    /// smoke harness uses `Some(1)` to run one simulated hour of any
+    /// scenario file.
+    #[serde(default)]
+    pub horizon_hours: Option<u64>,
+}
+
+impl Default for ScenarioConfig {
+    /// The DSL baseline: a minimal scenario document (`{}`) loads to
+    /// exactly this value. Identical to [`ScenarioConfig::sc2003`].
+    fn default() -> Self {
+        Self::sc2003()
+    }
 }
 
 /// Event-queue backend selector (see [`ScenarioConfig::queue`]).
@@ -174,6 +198,9 @@ impl ScenarioConfig {
             profile: false,
             ops_journal: false,
             federation: None,
+            workloads: None,
+            trace: None,
+            horizon_hours: None,
         }
     }
 
@@ -386,22 +413,51 @@ impl ScenarioConfig {
         self
     }
 
-    /// The simulation horizon as an instant.
-    pub fn horizon(&self) -> SimTime {
-        SimTime::from_days(self.days)
+    /// Override the synthetic workload set (see [`ScenarioConfig::workloads`]).
+    pub fn with_workloads(mut self, workloads: Vec<WorkloadSpec>) -> Self {
+        self.workloads = Some(workloads);
+        self
     }
 
-    /// The Table 1 workloads with monthly quotas scaled by `scale`
-    /// (rounding up, so tiny scales still submit at least one job for any
-    /// non-zero month).
+    /// Install a submission trace to replay.
+    pub fn with_trace(mut self, trace: crate::dsl::JobTrace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Override the horizon at hour granularity.
+    pub fn with_horizon_hours(mut self, hours: u64) -> Self {
+        self.horizon_hours = Some(hours);
+        self
+    }
+
+    /// The simulation horizon as an instant. An hour-granular override
+    /// trumps the day count.
+    pub fn horizon(&self) -> SimTime {
+        match self.horizon_hours {
+            Some(h) => SimTime::EPOCH + SimDuration::from_hours(h),
+            None => SimTime::from_days(self.days),
+        }
+    }
+
+    /// The scenario's workloads — the override if one is set, else the
+    /// Table 1 set — with monthly quotas scaled by `scale` (rounding up,
+    /// so tiny scales still submit at least one job for any non-zero
+    /// month). Declarative arrival processes scale their intensity.
     pub fn scaled_workloads(&self) -> Vec<WorkloadSpec> {
-        let mut workloads = grid3_workloads();
+        let mut workloads = match &self.workloads {
+            Some(custom) => custom.clone(),
+            None => grid3_workloads(),
+        };
         if (self.scale - 1.0).abs() > f64::EPSILON {
             for w in &mut workloads {
                 for q in &mut w.monthly_jobs {
                     if *q > 0 {
                         *q = ((*q as f64 * self.scale).ceil() as u64).max(1);
                     }
+                }
+                if let Some(a) = &w.arrivals {
+                    w.arrivals = Some(a.scaled(self.scale));
                 }
             }
         }

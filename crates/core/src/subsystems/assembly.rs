@@ -12,6 +12,7 @@ use crate::engine::Grid3Engine;
 use crate::resilience::ResilienceLayer;
 use crate::scenario::ScenarioConfig;
 use grid3_apps::demonstrators::EntradaDemo;
+use grid3_apps::workloads::Submission;
 use grid3_igoc::center::OperationsCenter;
 use grid3_middleware::gram::Gatekeeper;
 use grid3_middleware::gridftp::GridFtp;
@@ -30,7 +31,7 @@ use grid3_simkit::time::{SimDuration, SimTime};
 use grid3_simkit::units::Bytes;
 use grid3_site::cluster::Site;
 use grid3_site::failure::FailureEvent;
-use grid3_site::vo::Vo;
+use grid3_site::vo::{UserClass, Vo};
 use grid3_workflow::dagman::DagManager;
 use grid3_workflow::mop::{McRunJob, ProductionRequest};
 
@@ -144,6 +145,27 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
         ca.issue(user, dn, SimTime::from_days(730));
         center.aup.accept(user, SimTime::EPOCH);
     }
+    next_user += 7;
+
+    // Trace replay: each distinct (class, user) identity in the log gets
+    // real credentials like any synthetic user, in first-occurrence order
+    // so UserIds are a pure function of the trace.
+    let mut trace_users: Vec<(UserClass, String, UserId)> = Vec::new();
+    if let Some(trace) = &cfg.trace {
+        for (class, label) in trace.identities() {
+            let user = UserId(next_user);
+            next_user += 1;
+            let dn = format!("/CN={} trace {}", class.name(), label);
+            let server = voms
+                .iter_mut()
+                .find(|s| s.vo == class.vo())
+                .expect("server per VO");
+            server.register(user, dn.clone(), VoRole::Member, SimTime::EPOCH);
+            ca.issue(user, dn, SimTime::from_days(730));
+            center.aup.accept(user, SimTime::EPOCH);
+            trace_users.push((class, label.to_string(), user));
+        }
+    }
 
     // Schedule every workload submission inside the horizon.
     for (w, first_user) in workloads.iter().zip(&first_users) {
@@ -155,6 +177,29 @@ pub(crate) fn assemble(cfg: ScenarioConfig) -> Grid3Engine {
                     GridEvent::Brokering(BrokeringEvent::Submit(Box::new(sub), w.vo_affinity)),
                 );
             }
+        }
+    }
+
+    // Replay the trace: fully-specified jobs at their logged instants,
+    // no RNG draws, so replayed runs are bit-deterministic.
+    if let Some(trace) = &cfg.trace {
+        for job in &trace.jobs {
+            if job.at >= cfg.horizon() {
+                continue;
+            }
+            let user = trace_users
+                .iter()
+                .find(|(c, u, _)| *c == job.class && *u == job.user)
+                .map(|(_, _, id)| *id)
+                .expect("trace identity registered");
+            let sub = Submission {
+                at: job.at,
+                spec: job.spec(user),
+            };
+            queue.schedule_at(
+                job.at,
+                GridEvent::Brokering(BrokeringEvent::Submit(Box::new(sub), job.affinity)),
+            );
         }
     }
 

@@ -137,6 +137,92 @@ pub fn exp_gap(rng: &mut SimRng, mean: SimDuration) -> SimDuration {
     DurationDist::Exponential { mean }.sample(rng)
 }
 
+/// An arrival process: how submission instants are laid out in time.
+///
+/// Workloads that omit an arrival process use the legacy monthly-uniform
+/// layout (uniform instants within each calendar month, SC2003 surge week
+/// carved out of November); this enum covers the declarative alternatives
+/// a scenario file can request instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals at `per_day` jobs/day: exponential
+    /// gaps from the window start until the window is exhausted.
+    Poisson {
+        /// Mean arrival rate, in jobs per day.
+        per_day: f64,
+    },
+    /// A fixed cadence: one arrival every `every`, starting `offset` after
+    /// the window start (the §4.7 exerciser's 15-minute drumbeat shape).
+    Periodic {
+        /// Gap between consecutive arrivals.
+        every: SimDuration,
+        /// Offset of the first arrival from the window start.
+        offset: SimDuration,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generate ascending arrival offsets covering `[0, window)`.
+    pub fn arrivals(&self, rng: &mut SimRng, window: SimDuration) -> Vec<SimDuration> {
+        let mut out = Vec::new();
+        match *self {
+            ArrivalProcess::Poisson { per_day } => {
+                if per_day <= 0.0 {
+                    return out;
+                }
+                let mean = SimDuration::from_secs_f64(86_400.0 / per_day);
+                let mut t = exp_gap(rng, mean);
+                while t < window {
+                    out.push(t);
+                    t += exp_gap(rng, mean);
+                }
+            }
+            ArrivalProcess::Periodic { every, offset } => {
+                if every == SimDuration::ZERO {
+                    return out;
+                }
+                let mut t = offset;
+                while t < window {
+                    out.push(t);
+                    t += every;
+                }
+            }
+        }
+        out
+    }
+
+    /// Expected number of arrivals over `window` (exact for `Periodic`).
+    pub fn expected_jobs(&self, window: SimDuration) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { per_day } => per_day * window.as_secs_f64() / 86_400.0,
+            ArrivalProcess::Periodic { every, offset } => {
+                if every == SimDuration::ZERO || offset >= window {
+                    0.0
+                } else {
+                    (window.as_secs_f64() - offset.as_secs_f64()) / every.as_secs_f64()
+                }
+            }
+        }
+    }
+
+    /// Scale the arrival intensity by `factor` (campaign `--scale` support).
+    pub fn scaled(&self, factor: f64) -> ArrivalProcess {
+        match *self {
+            ArrivalProcess::Poisson { per_day } => ArrivalProcess::Poisson {
+                per_day: per_day * factor,
+            },
+            ArrivalProcess::Periodic { every, offset } => ArrivalProcess::Periodic {
+                every: if factor > 0.0 {
+                    SimDuration::from_secs_f64(every.as_secs_f64() / factor)
+                } else {
+                    every
+                },
+                offset,
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +328,74 @@ mod tests {
             .sample(&mut r);
             assert!(s <= 10_000_000_000);
         }
+    }
+
+    #[test]
+    fn poisson_arrivals_track_rate_and_stay_in_window() {
+        let p = ArrivalProcess::Poisson { per_day: 48.0 };
+        let window = SimDuration::from_days(30);
+        let mut r = rng();
+        let arrivals = p.arrivals(&mut r, window);
+        for pair in arrivals.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        assert!(arrivals.iter().all(|t| *t < window));
+        let expect = p.expected_jobs(window);
+        let got = arrivals.len() as f64;
+        assert!(
+            (got - expect).abs() / expect < 0.15,
+            "got {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn periodic_arrivals_are_exact() {
+        let p = ArrivalProcess::Periodic {
+            every: SimDuration::from_mins(15),
+            offset: SimDuration::from_mins(5),
+        };
+        let arrivals = p.arrivals(&mut rng(), SimDuration::from_hours(1));
+        assert_eq!(
+            arrivals,
+            vec![
+                SimDuration::from_mins(5),
+                SimDuration::from_mins(20),
+                SimDuration::from_mins(35),
+                SimDuration::from_mins(50),
+            ]
+        );
+        assert_eq!(
+            p.expected_jobs(SimDuration::from_hours(1)).round() as u64,
+            4
+        );
+    }
+
+    #[test]
+    fn arrival_scaling_multiplies_intensity() {
+        let p = ArrivalProcess::Poisson { per_day: 10.0 }.scaled(3.0);
+        assert_eq!(p, ArrivalProcess::Poisson { per_day: 30.0 });
+        let q = ArrivalProcess::Periodic {
+            every: SimDuration::from_mins(30),
+            offset: SimDuration::ZERO,
+        }
+        .scaled(2.0);
+        assert_eq!(
+            q,
+            ArrivalProcess::Periodic {
+                every: SimDuration::from_mins(15),
+                offset: SimDuration::ZERO,
+            }
+        );
+        // Degenerate rates produce empty schedules, not hangs.
+        assert!(ArrivalProcess::Poisson { per_day: 0.0 }
+            .arrivals(&mut rng(), SimDuration::from_days(1))
+            .is_empty());
+        assert!(ArrivalProcess::Periodic {
+            every: SimDuration::ZERO,
+            offset: SimDuration::ZERO,
+        }
+        .arrivals(&mut rng(), SimDuration::from_days(1))
+        .is_empty());
     }
 
     #[test]
