@@ -14,6 +14,7 @@
 //! figures -- campaign scenarios                       # sweep a directory
 //! figures -- export-scenarios                         # regenerate scenarios/*.json
 //! figures -- smoke-scenarios                          # 1 sim-hour of every file
+//! figures -- autopsy runs/run-0003.snap               # inspect a crash snapshot
 //! ```
 //!
 //! Artifacts: ASCII tables on stdout and machine-readable JSON under
@@ -36,10 +37,11 @@ fn main() {
     let mut scenario_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut campaign_dir: Option<PathBuf> = None;
+    let mut autopsy_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < raw.len() {
         let flag = raw[i].as_str();
-        if matches!(flag, "--scenario" | "--trace" | "campaign") {
+        if matches!(flag, "--scenario" | "--trace" | "campaign" | "autopsy") {
             let Some(v) = raw.get(i + 1) else {
                 eprintln!("[figures] {flag} needs a path argument");
                 std::process::exit(2);
@@ -48,6 +50,7 @@ fn main() {
             match flag {
                 "--scenario" => scenario_path = Some(path),
                 "--trace" => trace_path = Some(path),
+                "autopsy" => autopsy_path = Some(path),
                 _ => campaign_dir = Some(path),
             }
             i += 2;
@@ -63,6 +66,10 @@ fn main() {
     }
     if args.remove("smoke-scenarios") {
         smoke_scenarios();
+        return;
+    }
+    if let Some(snap) = autopsy_path {
+        autopsy_cli(&snap);
         return;
     }
     if let Some(dir) = campaign_dir {
@@ -537,10 +544,59 @@ fn run_campaign_dir_cli(dir: &Path) {
             v.name, v.efficiency.p50, v.efficiency.p5, v.efficiency.p95, v.total_jobs.p50
         );
     }
+    for s in &outcome.summary.skipped {
+        eprintln!("[figures] skipped {}: {}", s.path, s.error);
+    }
     std::fs::create_dir_all("results").ok();
     let json = serde_json::to_string(&outcome.summary).expect("summary serializes");
     std::fs::write("results/campaign.json", json).ok();
     eprintln!("[figures] wrote results/campaign.json");
+}
+
+/// `figures -- autopsy <file.snap>`: time-travel debugging for a run
+/// that hung or panicked under a resumable campaign. Loads the run's
+/// retained checkpoint snapshot, restores the engine at that instant,
+/// and prints the mid-flight state: the simulation clock, queue depth,
+/// and the accounting extracted from the restored engine — the grid as
+/// it looked the moment before things went wrong.
+fn autopsy_cli(path: &Path) {
+    let snap = grid3_core::EngineSnapshot::read_from(path).unwrap_or_else(|e| {
+        eprintln!("[figures] {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let cfg = snap.scenario();
+    println!("Autopsy — {}", path.display());
+    println!(
+        "  scenario: seed {}, {} days, scale {:.4}{}",
+        cfg.seed,
+        cfg.days,
+        cfg.scale,
+        if cfg.federation.is_some() {
+            ", federated"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "  captured at: sim day {:.2}  ({} events processed, {} pending)",
+        snap.sim_now()
+            .since(grid3_simkit::time::SimTime::EPOCH)
+            .as_days_f64(),
+        snap.events_processed(),
+        snap.pending_events()
+    );
+    let engine = grid3_core::Grid3Engine::restore(snap);
+    let report = Grid3Report::extract(&engine);
+    println!("\nState at capture (accounting extracted from the restored engine):\n");
+    println!("{}", report.render_metrics());
+    std::fs::create_dir_all("results").ok();
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snapshot".to_string());
+    let out = format!("results/autopsy_{stem}.json");
+    std::fs::write(&out, report.to_json()).ok();
+    eprintln!("[figures] wrote {out}");
 }
 
 /// `figures -- export-scenarios`: regenerate `scenarios/<name>.json`

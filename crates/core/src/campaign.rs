@@ -12,6 +12,13 @@
 //! first, so the merged summary is independent of thread count and
 //! scheduling.
 
+pub mod resume;
+
+pub use resume::{
+    plan_fingerprint, run_campaign_resumable, CampaignJournal, FailedRun, ResumableOptions,
+    ResumableOutcome, RunFailure, WalError, WalRecord,
+};
+
 use crate::dsl::DslError;
 use crate::report::Grid3Report;
 use crate::scenario::ScenarioConfig;
@@ -207,6 +214,16 @@ pub struct VariantSummary {
     pub cost_bands: Vec<CenterBand>,
 }
 
+/// A scenario file a directory sweep skipped, with the rendered load
+/// error (see [`plan_from_dir_graceful`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkippedScenario {
+    /// The offending file.
+    pub path: String,
+    /// The typed load error, rendered.
+    pub error: String,
+}
+
 /// The merged campaign summary: one [`VariantSummary`] per variant, in
 /// plan order.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -215,6 +232,10 @@ pub struct CampaignSummary {
     pub variants: Vec<VariantSummary>,
     /// Total runs merged.
     pub runs: usize,
+    /// Scenario files the sweep skipped as malformed (directory sweeps
+    /// only; always empty for plan-built campaigns).
+    #[serde(default)]
+    pub skipped: Vec<SkippedScenario>,
 }
 
 /// A finished campaign: every per-run report (grouped by variant, seeds
@@ -273,25 +294,48 @@ fn cost_bands(group: &[(Grid3Report, Option<CostProfiler>)]) -> Vec<CenterBand> 
 }
 
 fn merge(plan: &CampaignPlan, flat: Vec<(Grid3Report, Option<CostProfiler>)>) -> CampaignOutcome {
+    merge_partial(plan, flat.into_iter().map(Some).collect())
+}
+
+/// [`merge`] over a possibly gappy run set: `None` marks a run that
+/// failed or was skipped, and contributes nothing to its variant's
+/// bands (the variant's `seeds` list only the runs actually merged).
+/// With every slot present this is exactly [`merge`] — the resumable
+/// executor's uninterrupted path is byte-identical to the plain one.
+fn merge_partial(
+    plan: &CampaignPlan,
+    flat: Vec<Option<(Grid3Report, Option<CostProfiler>)>>,
+) -> CampaignOutcome {
     let per = plan.seeds.len();
     let mut groups: Vec<Vec<(Grid3Report, Option<CostProfiler>)>> =
         Vec::with_capacity(plan.variants.len());
+    let mut group_seeds: Vec<Vec<u64>> = Vec::with_capacity(plan.variants.len());
     let mut it = flat.into_iter();
     for _ in &plan.variants {
-        groups.push(it.by_ref().take(per).collect());
+        let mut group = Vec::with_capacity(per);
+        let mut seeds = Vec::with_capacity(per);
+        for (slot, &seed) in it.by_ref().take(per).zip(&plan.seeds) {
+            if let Some(pair) = slot {
+                group.push(pair);
+                seeds.push(seed);
+            }
+        }
+        groups.push(group);
+        group_seeds.push(seeds);
     }
     let variants = plan
         .variants
         .iter()
         .zip(&groups)
-        .map(|(v, group)| {
+        .zip(group_seeds)
+        .map(|((v, group), seeds)| {
             let metric = |f: &dyn Fn(&Grid3Report) -> f64| {
                 let samples: Vec<f64> = group.iter().map(|(r, _)| f(r)).collect();
                 PercentileBand::from_samples(&samples)
             };
             VariantSummary {
                 name: v.name.clone(),
-                seeds: plan.seeds.clone(),
+                seeds,
                 efficiency: metric(&|r| r.metrics.overall_efficiency),
                 peak_concurrent: metric(&|r| r.metrics.peak_concurrent_jobs),
                 site_problem_fraction: metric(&|r| r.metrics.site_problem_fraction),
@@ -322,6 +366,7 @@ fn merge(plan: &CampaignPlan, flat: Vec<(Grid3Report, Option<CostProfiler>)>) ->
         summary: CampaignSummary {
             variants,
             runs: reports.iter().map(Vec::len).sum(),
+            skipped: Vec::new(),
         },
         reports,
         profiles,
@@ -405,11 +450,28 @@ pub fn run_campaign_serial_observed(
     merge(plan, flat)
 }
 
+/// A directory-built campaign plan plus the files it had to skip, each
+/// with its typed load error.
+#[derive(Debug, Clone)]
+pub struct DirPlan {
+    /// The plan over the valid scenario files.
+    pub plan: CampaignPlan,
+    /// Malformed files, in filename order, with their typed errors.
+    pub skipped: Vec<(std::path::PathBuf, DslError)>,
+}
+
 /// Build a campaign plan from a directory of scenario files: every
 /// `*.json` in `dir` becomes one variant, named by file stem, in
 /// filename order (sorted, so the plan — and therefore the outcome —
 /// is independent of directory-listing order).
-pub fn plan_from_dir(dir: &std::path::Path, seeds: Vec<u64>) -> Result<CampaignPlan, DslError> {
+///
+/// Malformed files do **not** abort the sweep: each is recorded in
+/// [`DirPlan::skipped`] with its typed [`DslError`] and the remaining
+/// valid scenarios proceed. The whole directory is an error only when
+/// it cannot be read, holds no `*.json` files at all, or every file is
+/// malformed (an all-invalid directory is a configuration mistake, not
+/// a partial one — the first file's error is returned).
+pub fn plan_from_dir_graceful(dir: &std::path::Path, seeds: Vec<u64>) -> Result<DirPlan, DslError> {
     let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| DslError::Io {
             path: dir.display().to_string(),
@@ -429,27 +491,50 @@ pub fn plan_from_dir(dir: &std::path::Path, seeds: Vec<u64>) -> Result<CampaignP
         variants: Vec::with_capacity(paths.len()),
         seeds,
     };
+    let mut skipped = Vec::new();
     for path in paths {
         let name = path
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| path.display().to_string());
-        plan.variants.push(CampaignVariant {
-            name,
-            cfg: crate::dsl::load_config(&path)?,
-        });
+        match crate::dsl::load_config(&path) {
+            Ok(cfg) => plan.variants.push(CampaignVariant { name, cfg }),
+            Err(err) => skipped.push((path, err)),
+        }
     }
-    Ok(plan)
+    if plan.variants.is_empty() {
+        let (_, err) = skipped.swap_remove(0);
+        return Err(err);
+    }
+    Ok(DirPlan { plan, skipped })
+}
+
+/// [`plan_from_dir_graceful`] without the skip report: just the plan
+/// over the valid files.
+pub fn plan_from_dir(dir: &std::path::Path, seeds: Vec<u64>) -> Result<CampaignPlan, DslError> {
+    Ok(plan_from_dir_graceful(dir, seeds)?.plan)
 }
 
 /// Sweep a directory of scenario files: load each `*.json` as a variant
-/// (via [`plan_from_dir`]) and run the cross product with `seeds` in
-/// parallel. The scenario files are data — a sweep needs no code.
+/// (via [`plan_from_dir_graceful`]) and run the cross product with
+/// `seeds` in parallel. The scenario files are data — a sweep needs no
+/// code. Malformed files are recorded in the summary's
+/// [`skipped`](CampaignSummary::skipped) list and the valid scenarios
+/// still run.
 pub fn run_campaign_dir(
     dir: &std::path::Path,
     seeds: Vec<u64>,
 ) -> Result<CampaignOutcome, DslError> {
-    Ok(run_campaign(&plan_from_dir(dir, seeds)?))
+    let DirPlan { plan, skipped } = plan_from_dir_graceful(dir, seeds)?;
+    let mut outcome = run_campaign(&plan);
+    outcome.summary.skipped = skipped
+        .into_iter()
+        .map(|(path, err)| SkippedScenario {
+            path: path.display().to_string(),
+            error: err.to_string(),
+        })
+        .collect();
+    Ok(outcome)
 }
 
 /// Run the plan on exactly `threads` OS threads (Rayon sizes itself from

@@ -333,7 +333,7 @@ impl ChaosRates {
 /// Per-site runtime chaos switches, flipped by routed fault events and
 /// consulted by the subsystems. All flags are `false` in baseline runs,
 /// so every guard that reads them is bit-neutral.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ChaosState {
     /// Sites currently in black-hole mode (executions never complete).
     pub black_hole: Vec<bool>,
@@ -406,7 +406,7 @@ pub struct Violation {
 ///   (never negative, never over capacity), scanned every monitor tick;
 /// * **report balance** — [`Grid3Report`] totals equal the audited
 ///   ledger ([`InvariantAuditor::verify_report`]).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct InvariantAuditor {
     last_pop: SimTime,
     terminal: FastMap<JobId, u32>,

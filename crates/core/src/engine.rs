@@ -124,6 +124,50 @@ impl Grid3Engine {
         }
     }
 
+    /// Run forward until the simulation clock reaches `until` (capped at
+    /// the scenario horizon), then stop *without* the end-of-run
+    /// finalization [`run`](Self::run) performs (NetLogger drain,
+    /// conservation audit). The engine is left mid-run and resumable:
+    /// `run_until(t)` followed by `run()` is bit-identical to a single
+    /// uninterrupted `run()` — the property the snapshot differential
+    /// suite locks.
+    pub fn run_until(&mut self, until: SimTime) {
+        let horizon = self.fabric.cfg.horizon();
+        let stop = if until < horizon { until } else { horizon };
+        while let Some(at) = self.ctx.queue.peek_time() {
+            if at >= stop {
+                break;
+            }
+            let (now, event) = self
+                .ctx
+                .queue
+                .pop_profiled(&self.ctx.telemetry)
+                .expect("peeked");
+            if let Some(a) = &mut self.auditor {
+                a.observe_pop(now);
+            }
+            self.dispatch(now, event);
+        }
+    }
+
+    /// Capture the complete run-mutated state of this engine as a
+    /// serializable [`EngineSnapshot`](crate::snapshot::EngineSnapshot).
+    ///
+    /// Must be called between events (never mid-dispatch); the engine is
+    /// untouched. See the [`snapshot`](crate::snapshot) module docs for
+    /// exactly what the capture boundary includes.
+    pub fn snapshot(&self) -> crate::snapshot::EngineSnapshot {
+        crate::snapshot::capture(self)
+    }
+
+    /// Rebuild a runnable engine from a snapshot taken by
+    /// [`snapshot`](Self::snapshot): re-assembles the snapshot's scenario
+    /// and overlays the captured state. Running the result to the horizon
+    /// produces bit-identical reports to the uninterrupted original.
+    pub fn restore(snap: crate::snapshot::EngineSnapshot) -> Self {
+        crate::snapshot::restore_engine(snap)
+    }
+
     /// Run past the horizon until the event queue drains completely.
     ///
     /// Periodic drivers (monitor ticks, demo rounds) stop rescheduling at
@@ -245,6 +289,11 @@ impl Grid3Engine {
     /// internal and not counted, matching the pre-split engine).
     pub fn events_processed(&self) -> u64 {
         self.ctx.queue.processed()
+    }
+
+    /// The simulation clock: the time of the last processed event.
+    pub fn now(&self) -> SimTime {
+        self.ctx.queue.now()
     }
 
     /// Jobs currently tracked (not yet terminal), including jobs parked

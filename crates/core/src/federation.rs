@@ -124,7 +124,7 @@ impl GridRuntime {
 }
 
 /// Per-grid terminal-job tally (the per-grid efficiency split).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct GridTally {
     /// Jobs that finished successfully at this grid's sites.
     pub completed: u64,
@@ -289,6 +289,42 @@ impl FederationState {
         self.cross_grid_stage_ins += 1;
         self.cross_grid_stage_in_bytes += bytes;
     }
+
+    /// The run-mutated slice of this state, for engine snapshots. The
+    /// structural parts (member runtimes, site labelling, VO homes) are
+    /// pure functions of the scenario config, so a restore rebuilds them
+    /// via [`FederationState::build`]/[`FederationState::single`] and
+    /// overlays only what the run changed.
+    pub fn capture(&self) -> FederationCapture {
+        FederationCapture {
+            peering: self.peering.clone(),
+            tally: self.tally.clone(),
+            cross_grid_stage_ins: self.cross_grid_stage_ins,
+            cross_grid_stage_in_bytes: self.cross_grid_stage_in_bytes,
+        }
+    }
+
+    /// Overlay a captured run-mutated slice onto a freshly built state.
+    pub fn apply(&mut self, cap: FederationCapture) {
+        self.peering = cap.peering;
+        self.tally = cap.tally;
+        self.cross_grid_stage_ins = cap.cross_grid_stage_ins;
+        self.cross_grid_stage_in_bytes = cap.cross_grid_stage_in_bytes;
+    }
+}
+
+/// The run-mutated slice of [`FederationState`] that engine snapshots
+/// carry (see [`FederationState::capture`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FederationCapture {
+    /// Federation-level directory state.
+    pub peering: MdsPeering,
+    /// Per-grid terminal-job tallies.
+    pub tally: Vec<GridTally>,
+    /// Cross-grid stage-in count.
+    pub cross_grid_stage_ins: u64,
+    /// Cross-grid stage-in volume.
+    pub cross_grid_stage_in_bytes: Bytes,
 }
 
 #[cfg(test)]

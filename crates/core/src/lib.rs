@@ -45,6 +45,9 @@
 //! * [`federation`] — the multi-grid layer: N member grids with their
 //!   own site sets, VO admission and middleware backend personalities,
 //!   hierarchical MDS peering, and cross-grid brokering/stage-in.
+//! * [`snapshot`] — crash safety: serialize a live engine mid-run to a
+//!   versioned, checksummed snapshot and restore it bit-identically,
+//!   the substrate under resumable campaigns.
 //!
 //! ## Quickstart
 //!
@@ -70,6 +73,7 @@ pub mod ops;
 pub mod report;
 pub mod resilience;
 pub mod scenario;
+pub mod snapshot;
 pub mod subsystems;
 pub mod topology;
 
@@ -84,4 +88,5 @@ pub use ops::{OpsEventKind, OpsJournal, OpsRecord};
 pub use report::Grid3Report;
 pub use resilience::{ResilienceConfig, ResilienceLayer};
 pub use scenario::{CampaignSpec, ScenarioConfig, StormSpec};
+pub use snapshot::{EngineSnapshot, SnapshotError};
 pub use topology::{grid3_topology, SiteSpec, Topology};

@@ -77,7 +77,7 @@ impl ResilienceConfig {
 }
 
 /// Per-site health state.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct SiteHealth {
     /// Recent terminal outcomes; `true` = site-caused failure.
     window: VecDeque<bool>,
@@ -93,7 +93,7 @@ struct SiteHealth {
 }
 
 /// The per-site health scorer and blacklist the broker consults.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ResilienceLayer {
     cfg: ResilienceConfig,
     sites: Vec<SiteHealth>,

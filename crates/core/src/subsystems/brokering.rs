@@ -95,6 +95,43 @@ impl Brokering {
         self.grid_scratch = vec![SelectScratch::default(); grids];
     }
 
+    /// The run-mutated slice of this subsystem, for engine snapshots.
+    /// The SoA site table, the per-grid scratch set, and the span map
+    /// are rebuildable caches/telemetry and are *not* captured: the
+    /// table re-memoises from the restored MDS on first access (same
+    /// epoch key, same content), and spans restart empty.
+    pub(crate) fn capture(&self) -> BrokeringCapture {
+        BrokeringCapture {
+            broker: self.broker.clone(),
+            retry_state: self.retry_state.clone(),
+            unplaced_jobs: self.unplaced_jobs,
+            campaigns: self.campaigns.clone(),
+            campaign_job_map: self.campaign_job_map.clone(),
+            campaign_hold: self.campaign_hold.clone(),
+            campaign_rescues: self.campaign_rescues.clone(),
+        }
+    }
+
+    /// Overlay a captured slice onto a freshly assembled subsystem.
+    /// Campaign DAGMan counters deserialize inert, so telemetry is
+    /// re-attached here.
+    pub(crate) fn apply(
+        &mut self,
+        cap: BrokeringCapture,
+        telemetry: &grid3_simkit::telemetry::Telemetry,
+    ) {
+        self.broker = cap.broker;
+        self.retry_state = cap.retry_state;
+        self.unplaced_jobs = cap.unplaced_jobs;
+        self.campaigns = cap.campaigns;
+        for (_, mgr) in &mut self.campaigns {
+            mgr.set_telemetry(telemetry.clone());
+        }
+        self.campaign_job_map = cap.campaign_job_map;
+        self.campaign_hold = cap.campaign_hold;
+        self.campaign_rescues = cap.campaign_rescues;
+    }
+
     /// Per-campaign progress: `(dataset, state, done, total)`.
     pub fn campaign_progress(&self) -> Vec<(String, DagState, usize, usize)> {
         self.campaigns
@@ -686,6 +723,19 @@ impl Brokering {
             );
         }
     }
+}
+
+/// The run-mutated slice of [`Brokering`] carried by engine snapshots
+/// (see [`Brokering::capture`]).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct BrokeringCapture {
+    broker: Broker,
+    retry_state: FastMap<JobId, (JobSpec, f64, u32)>,
+    unplaced_jobs: u64,
+    campaigns: Vec<(String, DagManager<CmsTask>)>,
+    campaign_job_map: FastMap<JobId, (usize, DagNodeId)>,
+    campaign_hold: FastMap<(usize, DagNodeId), SimTime>,
+    campaign_rescues: FastMap<usize, u32>,
 }
 
 impl Subsystem for Brokering {

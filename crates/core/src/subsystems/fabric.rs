@@ -39,6 +39,7 @@ use grid3_simkit::units::Bytes;
 use grid3_site::cluster::Site;
 use grid3_site::job::{FailureCause, JobOutcome, JobRecord, JobSpec};
 use grid3_site::storage::ReservationId;
+use serde::{Deserialize, Serialize};
 
 use super::{BrokeringEvent, EngineCtx, FaultEvent, GridEvent, ReportingEvent};
 
@@ -46,7 +47,7 @@ use super::{BrokeringEvent, EngineCtx, FaultEvent, GridEvent, ReportingEvent};
 pub const NO_TRANSFER: TransferId = TransferId(u32::MAX);
 
 /// Phase of an active job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Phase {
     /// Input data is on the wire to the execution site.
     StagingIn,
@@ -59,7 +60,7 @@ pub enum Phase {
 }
 
 /// How a running job is predetermined to end.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExecutionFate {
     /// Completes its work; proceeds to stage-out.
     Success,
@@ -72,7 +73,7 @@ pub enum ExecutionFate {
 }
 
 /// One job in flight, from gatekeeper acceptance to its terminal record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ActiveJob {
     /// The job's resource requirements and data volumes.
     pub spec: JobSpec,
@@ -99,7 +100,7 @@ pub struct ActiveJob {
 }
 
 /// What an in-flight transfer is for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TransferPurpose {
     /// Pre-staging a job's input.
     JobStageIn(JobId),

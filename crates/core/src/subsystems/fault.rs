@@ -19,7 +19,7 @@ use grid3_site::job::{FailureCause, JobOutcome};
 use super::{EngineCtx, ExecutionEvent, FaultEvent, GridEvent, GridFabric, Subsystem};
 
 /// The fault-handling subsystem (see the module docs).
-#[derive(Default)]
+#[derive(Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct FaultHandling {
     /// Completion accounting bucketed by site operational state at finish
     /// time — the §7 m-eff split's source.

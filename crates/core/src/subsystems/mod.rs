@@ -50,6 +50,7 @@ use grid3_simkit::units::Bytes;
 use grid3_site::failure::FailureEvent;
 use grid3_site::job::{JobOutcome, JobRecord};
 use grid3_site::vo::Vo;
+use serde::{Deserialize, Serialize};
 
 /// One routed service of the grid engine.
 ///
@@ -76,7 +77,7 @@ pub trait Subsystem {
 }
 
 /// Events consumed by the brokering subsystem.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum BrokeringEvent {
     /// A workload submission reaches the broker (with its VO affinity).
     Submit(Box<Submission>, f64),
@@ -92,7 +93,7 @@ pub enum BrokeringEvent {
 }
 
 /// Events consumed by the staging subsystem.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum StagingEvent {
     /// A job's stage-in transfer finished.
     StageInDone(JobId, TransferId),
@@ -115,7 +116,7 @@ pub enum StagingEvent {
 }
 
 /// Events consumed by the execution subsystem.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ExecutionEvent {
     /// Try to dispatch queued work at a site.
     TryDispatch(SiteId),
@@ -129,7 +130,7 @@ pub enum ExecutionEvent {
 }
 
 /// Events consumed by the fault-handling subsystem.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum FaultEvent {
     /// A site incident fires.
     Incident(SiteId, FailureEvent),
@@ -177,7 +178,7 @@ pub enum FaultEvent {
 }
 
 /// Events consumed by the reporting subsystem.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ReportingEvent {
     /// Periodic monitoring sweep (GRIS republish, agents, probes).
     MonitorTick,
@@ -191,7 +192,7 @@ pub enum ReportingEvent {
 
 /// The routed event envelope: one variant per subsystem, plus the
 /// engine-level [`GridEvent::Timer`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum GridEvent {
     /// Routed to [`brokering::Brokering`].
     Brokering(BrokeringEvent),

@@ -119,6 +119,26 @@ impl Reporting {
         }
     }
 
+    /// Clone the run-mutated accounting state for an engine snapshot.
+    /// `metric_buf` is per-tick scratch and restores empty.
+    pub(crate) fn capture(&self) -> ReportingCapture {
+        ReportingCapture {
+            acdc: self.acdc.clone(),
+            viewer: self.viewer.clone(),
+            bytes_delivered: self.bytes_delivered,
+            ticks: self.ticks,
+        }
+    }
+
+    /// Overlay a captured accounting state onto a freshly assembled
+    /// subsystem.
+    pub(crate) fn apply(&mut self, cap: ReportingCapture) {
+        self.acdc = cap.acdc;
+        self.viewer = cap.viewer;
+        self.bytes_delivered = cap.bytes_delivered;
+        self.ticks = cap.ticks;
+    }
+
     /// Ingest a terminal job record into both accounting databases, in
     /// the monolith's order (ACDC first, then the daily series).
     fn on_job_finished(&mut self, record: &JobRecord) {
@@ -132,6 +152,16 @@ impl Reporting {
         self.bytes_delivered += bytes;
         self.viewer.ingest_transfer(now, vo, bytes);
     }
+}
+
+/// The run-mutated slice of [`Reporting`] carried by engine snapshots
+/// (see [`Reporting::capture`]).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct ReportingCapture {
+    acdc: AcdcJobMonitor,
+    viewer: MdViewer,
+    bytes_delivered: Bytes,
+    ticks: u64,
 }
 
 impl Subsystem for Reporting {

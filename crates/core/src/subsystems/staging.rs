@@ -25,6 +25,10 @@ const CLEANUP_SWEEP_DELAY: grid3_simkit::time::SimDuration =
     grid3_simkit::time::SimDuration::from_mins(30);
 
 /// The staging subsystem (see the module docs).
+///
+/// Serde round-trips the whole struct: the LFN allocator position is
+/// run-mutated state and the demonstrator matrix is cheap config.
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub struct Staging {
     /// Grid-wide logical-file-name allocator.
     lfns: FileIdGen,

@@ -49,6 +49,28 @@ pub struct OperationsCenter {
     pub aup: AcceptableUsePolicy,
 }
 
+/// The run-mutated slice of the center carried by engine snapshots:
+/// every service that accumulates state during a run. The Pacman cache,
+/// install pipeline and AUP are static configuration rebuilt from the
+/// scenario (see [`OperationsCenter::capture`]).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CenterCapture {
+    /// Top-level MDS index.
+    pub mds: MdsDirectory,
+    /// Per-VO GIIS indexes.
+    pub giis: Vec<GiisIndex>,
+    /// The Site Status Catalog.
+    pub status_catalog: SiteStatusCatalog,
+    /// MonALISA central repository.
+    pub monalisa: MonAlisaRepository,
+    /// Central Ganglia web frontend.
+    pub ganglia_web: GangliaWeb,
+    /// NetLogger archive.
+    pub netlogger: NetLoggerArchive,
+    /// Trouble tickets.
+    pub tickets: TicketSystem,
+}
+
 /// Result of onboarding one site.
 #[derive(Debug, Clone)]
 pub struct OnboardingOutcome {
@@ -81,6 +103,30 @@ impl OperationsCenter {
     /// The Grid3-era default center.
     pub fn grid3_default() -> Self {
         Self::new(InstallPipeline::grid3_default())
+    }
+
+    /// Clone the run-mutated service state for an engine snapshot.
+    pub fn capture(&self) -> CenterCapture {
+        CenterCapture {
+            mds: self.mds.clone(),
+            giis: self.giis.clone(),
+            status_catalog: self.status_catalog.clone(),
+            monalisa: self.monalisa.clone(),
+            ganglia_web: self.ganglia_web.clone(),
+            netlogger: self.netlogger.clone(),
+            tickets: self.tickets.clone(),
+        }
+    }
+
+    /// Overlay a captured service state onto a freshly built center.
+    pub fn apply(&mut self, cap: CenterCapture) {
+        self.mds = cap.mds;
+        self.giis = cap.giis;
+        self.status_catalog = cap.status_catalog;
+        self.monalisa = cap.monalisa;
+        self.ganglia_web = cap.ganglia_web;
+        self.netlogger = cap.netlogger;
+        self.tickets = cap.tickets;
     }
 
     /// Onboard a site per §5.1: pull the `grid3` package from the Pacman

@@ -25,9 +25,11 @@ use grid3_simkit::time::SimDuration;
 use grid3_simkit::time::SimTime;
 use grid3_site::job::JobRecord;
 use grid3_site::vo::{UserClass, Vo};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The viewer: per-VO and per-site usage plots over a fixed window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MdViewer {
     start: SimTime,
     days: usize,

@@ -189,6 +189,7 @@ const SLOTS_PER_SITE: usize = 3 + Vo::ALL.len();
 /// the monitoring sweep is an index, not an ordered-map walk. Slots a
 /// site never reported stay `None`, mirroring the absent keys of a
 /// keyed map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MonAlisaRepository {
     step: SimDuration,
     capacity: usize,

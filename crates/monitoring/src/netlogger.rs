@@ -14,10 +14,11 @@ use grid3_simkit::ids::TransferId;
 use grid3_simkit::stats::Summary;
 use grid3_simkit::time::SimTime;
 use grid3_simkit::units::Bytes;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Aggregate transfer statistics computed from the event stream.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TransferStats {
     /// Transfers started.
     pub started: u64,
@@ -48,7 +49,7 @@ impl TransferStats {
 }
 
 /// The archive: ingests NetLogger events, correlates start/end pairs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct NetLoggerArchive {
     open: HashMap<TransferId, (SimTime, Bytes)>,
     stats: TransferStats,

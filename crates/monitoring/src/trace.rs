@@ -182,7 +182,7 @@ impl UserAccount {
 /// Per-job side state kept dense by job index so [`TraceStore::record`]
 /// is an index, not a map probe: the trace slot, the owning user, and
 /// the pending dispatch timestamp.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct JobSide {
     /// Index into `traces`, or [`NO_TRACE`] for a job never opened.
     trace: u32,
@@ -207,7 +207,7 @@ const UNKNOWN_JOB: JobSide = JobSide {
 /// lookup tables are vectors indexed by id; submit-side ids are handed
 /// out by this store one per opened trace, so `SubmitSideId(n)` *is*
 /// `traces[n]` and needs no table at all.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TraceStore {
     traces: Vec<JobTrace>,
     jobs: Vec<JobSide>,

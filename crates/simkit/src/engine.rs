@@ -21,6 +21,7 @@
 
 use crate::telemetry::Telemetry;
 use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -35,7 +36,7 @@ pub trait EventLabel {
 }
 
 /// An event plus its firing time and tie-breaking sequence number.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScheduledEvent<E> {
     /// When the event fires.
     pub time: SimTime,
@@ -93,7 +94,7 @@ const MAX_BUCKETS: usize = 4096;
 /// Deeper rungs refine one consumed bucket of the rung above, so the live
 /// spans of the rung stack are disjoint and increase from the deepest
 /// rung upward.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Rung<E> {
     /// Start (micros) of bucket 0.
     base: u64,
@@ -182,7 +183,7 @@ impl<E> Rung<E> {
 /// Invariant: whenever the queue is non-empty, `bottom` is non-empty —
 /// maintained by `LadderQueue::refill` after every mutation — so
 /// [`LadderQueue::peek_key`] is a borrow of `bottom.last()`.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LadderQueue<E> {
     /// Sorted descending by `(time, seq)`; popped from the back.
     bottom: Vec<ScheduledEvent<E>>,
@@ -271,6 +272,17 @@ impl<E> LadderQueue<E> {
         *self = Self::new();
     }
 
+    /// Borrowing iterator over every stored event, in internal storage
+    /// order (bottom tier, then rung buckets, then the far-future
+    /// spill) — *not* pop order. Consumes nothing; `len` and all
+    /// refinement state are untouched.
+    pub fn iter_events(&self) -> impl Iterator<Item = &ScheduledEvent<E>> {
+        self.bottom
+            .iter()
+            .chain(self.rungs.iter().flat_map(|r| r.buckets.iter().flatten()))
+            .chain(self.top.iter())
+    }
+
     /// The rung whose live span contains `t`, if any.
     ///
     /// Rung spans are contiguous and ordered: each deeper rung refines
@@ -349,7 +361,7 @@ fn bucket_width(start: u64, end: u64, n: usize) -> u64 {
 // ---------------------------------------------------------------------
 
 /// Storage backend for [`EventQueue`] (see the module docs).
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum Backend<E> {
     Ladder(LadderQueue<E>),
     Heap(BinaryHeap<ScheduledEvent<E>>),
@@ -361,7 +373,7 @@ enum Backend<E> {
 /// * events pop in non-decreasing time order;
 /// * equal-time events pop in scheduling order;
 /// * the clock never moves backwards.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EventQueue<E> {
     backend: Backend<E>,
     now: SimTime,
@@ -529,6 +541,31 @@ impl<E> EventQueue<E> {
             Backend::Heap(h) => h.clear(),
         }
     }
+
+    /// Visit every pending event in pop (`(time, seq)`) order without
+    /// consuming anything: `len`, the clock, and the ladder's internal
+    /// refinement state are all preserved. Snapshot code uses this to
+    /// enumerate in-flight events for inspection and checksumming.
+    ///
+    /// ```
+    /// use grid3_simkit::engine::EventQueue;
+    /// use grid3_simkit::time::SimTime;
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.schedule_at(SimTime::from_secs(20), "tock");
+    /// q.schedule_at(SimTime::from_secs(10), "tick");
+    /// let seen: Vec<&&str> = q.iter_pending().map(|(_, _, e)| e).collect();
+    /// assert_eq!(seen, vec![&"tick", &"tock"]);
+    /// assert_eq!(q.len(), 2); // nothing consumed
+    /// ```
+    pub fn iter_pending(&self) -> impl Iterator<Item = (SimTime, u64, &E)> {
+        let mut items: Vec<&ScheduledEvent<E>> = match &self.backend {
+            Backend::Ladder(l) => l.iter_events().collect(),
+            Backend::Heap(h) => h.iter().collect(),
+        };
+        items.sort_unstable_by_key(|e| e.key());
+        items.into_iter().map(|e| (e.time, e.seq, &e.event))
+    }
 }
 
 impl<E: EventLabel> EventQueue<E> {
@@ -695,6 +732,59 @@ mod tests {
         assert_eq!(first, usize::MAX);
         let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..SORT_THRESHOLD * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iter_pending_is_len_preserving_and_sorted() {
+        let mut q = EventQueue::new();
+        let times = [30u64, 5, 5, 120, 0, 40, 5, 39, 40, 7, 1000, 5];
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_secs(*t), i);
+        }
+        let before = q.len();
+        let listed: Vec<(SimTime, u64)> = q.iter_pending().map(|(t, s, _)| (t, s)).collect();
+        assert_eq!(listed.len(), before);
+        assert_eq!(q.len(), before, "iteration must not consume");
+        let mut sorted = listed.clone();
+        sorted.sort();
+        assert_eq!(listed, sorted, "iter_pending must yield pop order");
+        // And the iteration agrees with what pop actually produces.
+        let popped: Vec<SimTime> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(popped, listed.iter().map(|(t, _)| *t).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_serde_round_trip_preserves_pop_sequence() {
+        // Build a ladder with live rung refinement state (mid-drain), and
+        // a heap twin; both must survive serialize -> deserialize with
+        // identical pop sequences.
+        for heap in [false, true] {
+            let mut q = if heap {
+                EventQueue::with_heap()
+            } else {
+                EventQueue::new()
+            };
+            for i in 0..400u64 {
+                q.schedule_at(SimTime::from_secs((i * 37) % 900), i);
+            }
+            // Drain partway so rungs/bottom hold refined state.
+            for _ in 0..123 {
+                q.pop();
+            }
+            let v = q.to_value();
+            let mut restored: EventQueue<u64> = EventQueue::from_value(&v).unwrap();
+            assert_eq!(restored.len(), q.len());
+            assert_eq!(restored.now(), q.now());
+            assert_eq!(restored.processed(), q.processed());
+            loop {
+                let a = q.pop();
+                let b = restored.pop();
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 
     impl EventLabel for &'static str {

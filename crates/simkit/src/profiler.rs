@@ -47,8 +47,11 @@ pub struct CostCenter {
     pub event: &'static str,
 }
 
-/// Accumulated statistics for one cost center.
-#[derive(Debug, Clone)]
+/// Accumulated statistics for one cost center. Serializable so a
+/// campaign journal can persist a finished run's profile; pair the
+/// stats back with the engine's static center table via
+/// [`CostProfiler::from_stats`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct CenterStats {
     /// Events dispatched to this center.
     pub events: u64,
@@ -125,6 +128,20 @@ impl CostProfiler {
     pub fn new(centers: &'static [CostCenter]) -> Self {
         CostProfiler {
             stats: vec![CenterStats::default(); centers.len()],
+            centers,
+        }
+    }
+
+    /// Rehydrate a profiler from persisted per-center stats (e.g. a
+    /// campaign journal record). Missing trailing centers read zero;
+    /// extra persisted centers beyond the table are dropped — both only
+    /// arise across engine builds with different center tables.
+    pub fn from_stats(centers: &'static [CostCenter], stats: Vec<CenterStats>) -> Self {
+        let mut padded = stats;
+        padded.resize(centers.len(), CenterStats::default());
+        padded.truncate(centers.len());
+        CostProfiler {
+            stats: padded,
             centers,
         }
     }

@@ -101,6 +101,22 @@ impl SimRng {
     }
 }
 
+impl serde::Serialize for SimRng {
+    fn to_value(&self) -> serde::Value {
+        // The xoshiro256++ state words capture the stream position exactly,
+        // so a snapshot restores draws mid-stream without replaying.
+        self.inner.state().to_value()
+    }
+}
+
+impl serde::Deserialize for SimRng {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        <[u64; 4]>::from_value(v).map(|s| SimRng {
+            inner: StdRng::from_state(s),
+        })
+    }
+}
+
 impl RngCore for SimRng {
     fn next_u32(&mut self) -> u32 {
         self.inner.next_u32()
@@ -182,6 +198,19 @@ mod tests {
         let items = ["a", "b", "c"];
         let p = r.pick(&items);
         assert!(items.contains(p));
+    }
+
+    #[test]
+    fn serde_round_trip_resumes_mid_stream() {
+        use serde::{Deserialize, Serialize};
+        let mut r = SimRng::for_entity(42, 0xB0B);
+        for _ in 0..37 {
+            r.next_u64();
+        }
+        let mut restored = SimRng::from_value(&r.to_value()).unwrap();
+        for _ in 0..64 {
+            assert_eq!(r.next_u64(), restored.next_u64());
+        }
     }
 
     #[test]

@@ -124,7 +124,7 @@ pub struct RunningJob {
 }
 
 /// One Grid3 facility: cluster + scheduler + storage + state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Site {
     /// Site identity.
     pub id: SiteId,

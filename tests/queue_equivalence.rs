@@ -126,3 +126,59 @@ proptest! {
         prop_assert_eq!(ladder.processed(), (seed_times.len() + di) as u64);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Snapshot support: the ladder queue's full refinement state —
+    /// rung boundaries, bucket splits, the sorted bottom tier, and the
+    /// mid-drain cursor — must survive a serde round trip. Schedule a
+    /// clustered workload (the shape that forces recursive rung
+    /// refinement), drain part of it so the queue is caught mid-rung,
+    /// round-trip through the serde value tree, and require the
+    /// remaining pop sequence — including follow-ups scheduled *after*
+    /// the round trip — to match the never-serialized original exactly.
+    #[test]
+    fn ladder_serde_round_trip_mid_refinement_pops_identically(
+        picks in proptest::collection::vec((0u64..6, 0u64..200), 1..300),
+        drain_pct in 0u64..100,
+        followups in proptest::collection::vec(0u64..2_000_000, 0..40),
+    ) {
+        use serde::{Deserialize as _, Serialize as _};
+        let times: Vec<u64> = picks
+            .iter()
+            .map(|&(cluster, off)| cluster * 40_000_000 + off * 7)
+            .collect();
+        let mut original: EventQueue<usize> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            original.schedule_at(SimTime::from_micros(t), i);
+        }
+        let drain = (times.len() as u64 * drain_pct / 100) as usize;
+        for _ in 0..drain {
+            original.pop();
+        }
+        let mut restored: EventQueue<usize> =
+            EventQueue::from_value(&original.to_value()).expect("queue round-trips");
+        prop_assert_eq!(restored.len(), original.len());
+        prop_assert_eq!(restored.now(), original.now());
+        prop_assert_eq!(restored.processed(), original.processed());
+        // Post-round-trip scheduling lands in the restored rung
+        // structure; it must behave exactly like the original's.
+        let mut next_payload = times.len();
+        let mut fi = 0;
+        loop {
+            let a = original.pop();
+            let b = restored.pop();
+            prop_assert_eq!(a, b, "restored ladder diverged");
+            let Some((t, _)) = a else { break };
+            if fi < followups.len() {
+                let at = SimTime::from_micros(t.as_micros() + followups[fi]);
+                original.schedule_at(at, next_payload);
+                restored.schedule_at(at, next_payload);
+                next_payload += 1;
+                fi += 1;
+            }
+        }
+        prop_assert_eq!(original.processed(), restored.processed());
+    }
+}

@@ -312,6 +312,23 @@ impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
     }
 }
 
+impl<T: Serialize + Ord> Serialize for std::collections::BinaryHeap<T> {
+    fn to_value(&self) -> Value {
+        // Deterministic output independent of the heap's internal
+        // arrangement: emit the elements in sorted order. The pop order
+        // is fully determined by `Ord`, so the arrangement is not state.
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BinaryHeap<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(std::collections::BinaryHeap::from)
+    }
+}
+
 impl<T: Serialize + std::hash::Hash + Eq> Serialize for std::collections::HashSet<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
